@@ -1,0 +1,128 @@
+// Command ocmxbench regenerates the paper's evaluation as text tables:
+// worst-case and average message complexity, failure overhead (the
+// Section 6 Estelle experiment), search_father cost, and the comparison
+// against Raymond and Naimi-Trehel. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5] [-seed N] [-full]
+//
+// -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
+// and extends the size sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6")
+	seed := flag.Int64("seed", 1993, "random seed")
+	full := flag.Bool("full", false, "paper-scale parameters (slower)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ocmxbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	sizes := []int{1, 2, 3, 4, 5, 6}
+	if *full {
+		sizes = append(sizes, 7, 8)
+	}
+
+	run("e1", func() error {
+		rows, err := harness.E1WorstCase(sizes, 40, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE1(rows))
+		return nil
+	})
+
+	run("e2", func() error {
+		rows, err := harness.E2Average(sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE2(rows))
+		return nil
+	})
+
+	run("e3", func() error {
+		type cfg struct{ p, failures int }
+		cfgs := []cfg{{4, 60}, {5, 100}, {6, 60}}
+		if *full {
+			cfgs = []cfg{{4, 300}, {5, 300}, {6, 200}, {7, 100}}
+		}
+		var rows []harness.E3Row
+		for _, c := range cfgs {
+			row, err := harness.E3FailureOverhead(c.p, c.failures, *seed)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			paper, err := harness.E3FailureOverheadPaperMode(c.p, c.failures, *seed)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, paper)
+		}
+		fmt.Println(harness.FormatE3(rows))
+		return nil
+	})
+
+	run("e4", func() error {
+		trials := 40
+		if *full {
+			trials = 120
+		}
+		ps := []int{3, 4, 5, 6}
+		if *full {
+			ps = append(ps, 7)
+		}
+		rows, err := harness.E4SearchCost(ps, trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE4(rows))
+		return nil
+	})
+
+	run("e6", func() error {
+		ps := []int{4, 5, 6}
+		if *full {
+			ps = append(ps, 7)
+		}
+		rows, err := harness.E6Adaptivity(ps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE6(rows))
+		return nil
+	})
+
+	run("e5", func() error {
+		ps := []int{3, 4, 5}
+		if *full {
+			ps = append(ps, 6)
+		}
+		rows, err := harness.E5Comparison(ps,
+			[]string{harness.LoadSpread, harness.LoadBurst, harness.LoadHotspot}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE5(rows))
+		return nil
+	})
+}

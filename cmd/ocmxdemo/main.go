@@ -1,0 +1,104 @@
+// Command ocmxdemo runs a live open-cube mutual exclusion cluster over
+// real TCP loopback sockets: every node repeatedly acquires the
+// distributed mutex to increment a shared (conceptually replicated)
+// counter, and the demo reports progress and the final tally.
+//
+// Usage:
+//
+//	ocmxdemo [-n 8] [-rounds 20] [-ft]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	n := flag.Int("n", 8, "cluster size (power of two)")
+	rounds := flag.Int("rounds", 20, "lock/unlock rounds per node")
+	ft := flag.Bool("ft", false, "enable the fault-tolerance layer")
+	flag.Parse()
+
+	if err := run(*n, *rounds, *ft); err != nil {
+		fmt.Fprintln(os.Stderr, "ocmxdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, rounds int, ft bool) error {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+
+	var opts []opencubemx.Option
+	if ft {
+		opts = append(opts, opencubemx.WithFaultTolerance(
+			50*time.Millisecond, 10*time.Millisecond, time.Second))
+	}
+
+	nodes := make([]*opencubemx.TCPNode, n)
+	for i := range nodes {
+		node, err := opencubemx.NewTCPNode(i, addrs, opts...)
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		nodes[i] = node
+		fmt.Printf("node %2d listening on %s\n", i+1, node.Addr())
+	}
+
+	var (
+		counter int64 // protected by the distributed mutex
+		inCS    int64
+		wg      sync.WaitGroup
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	for i, node := range nodes {
+		m := node.Mutex()
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < rounds; k++ {
+				if err := m.Lock(ctx); err != nil {
+					fmt.Fprintf(os.Stderr, "node %d lock: %v\n", id+1, err)
+					return
+				}
+				if atomic.AddInt64(&inCS, 1) != 1 {
+					fmt.Fprintln(os.Stderr, "MUTUAL EXCLUSION VIOLATED")
+				}
+				counter++
+				atomic.AddInt64(&inCS, -1)
+				if err := m.Unlock(); err != nil {
+					fmt.Fprintf(os.Stderr, "node %d unlock: %v\n", id+1, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	want := int64(n * rounds)
+	fmt.Printf("counter = %d (want %d) in %v — %.0f lock/s over TCP\n",
+		counter, want, elapsed.Round(time.Millisecond),
+		float64(want)/elapsed.Seconds())
+	if counter != want {
+		return fmt.Errorf("lost updates: %d != %d", counter, want)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Command ocmxviz renders the paper's figures as ASCII: the open-cube
+// family (Figure 2), the open-cube/hypercube correspondence (Figure 3),
+// and the tree evolution of the Section 3.2 worked example (Figures 6-8).
+//
+// Usage:
+//
+//	ocmxviz -fig 2       # open-cubes for n = 2, 4, 8, 16
+//	ocmxviz -fig 3       # 8-open-cube inside the 8-hypercube
+//	ocmxviz -fig 8       # tree evolution of the Section 3.2 scenario
+//	ocmxviz -fig 14      # the Section 5 failure/recovery scenario
+//	ocmxviz -tree 5      # pristine 32-open-cube
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "paper figure to render: 2, 3, 8 or 14")
+	tree := flag.Int("tree", -1, "render the pristine 2^p open-cube for this p")
+	flag.Parse()
+
+	switch {
+	case *tree >= 0:
+		c, err := ocube.New(*tree)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pristine %d-open-cube:\n%s", c.N(), c.Render())
+	case *fig == 2:
+		for _, p := range []int{1, 2, 3, 4} {
+			c := ocube.MustNew(p)
+			fmt.Printf("Figure 2 (%d-open-cube):\n%s\n", c.N(), c.Render())
+		}
+	case *fig == 3:
+		fmt.Println("Figure 3 — the 8-open-cube as a subgraph of the 8-hypercube")
+		fmt.Print(ocube.RenderHypercubeComparison(3))
+		fmt.Printf("\ntree form:\n%s", ocube.MustNew(3).Render())
+	case *fig == 8:
+		if err := renderScenario(); err != nil {
+			fatal(err)
+		}
+	case *fig == 14:
+		if err := renderFailureScenario(); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// renderScenario replays the Section 3.2 example and prints the trees of
+// Figures 6 (initial), 7 (intermediate) and 8 (final).
+func renderScenario() error {
+	const d = time.Millisecond
+	csN := 0
+	w, err := sim.New(sim.Config{
+		P:     4,
+		Delay: sim.FixedDelay(d),
+		CSTime: func(*rand.Rand) time.Duration {
+			csN++
+			if csN == 1 {
+				return 30 * d
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Figure 6 — initial 16-open-cube (node 6 about to borrow the token):\n%s\n",
+		w.Snapshot().Render())
+	w.RequestCS(ocube.FromLabel(6), 0)
+	w.Eng.RunUntil(10 * d)
+	w.RequestCS(ocube.FromLabel(10), 0)
+	w.RequestCS(ocube.FromLabel(8), d/2)
+	w.Eng.RunUntil(25 * d)
+	fmt.Printf("Figure 7 — after node 1 gave the token to 9 (requests of 10 and 8 in progress):\n%s\n",
+		w.Snapshot().Render())
+	if !w.RunUntilQuiescent(time.Minute) {
+		return fmt.Errorf("scenario did not quiesce")
+	}
+	fmt.Printf("Figure 8 — final configuration (8 is the new root):\n%s", w.Snapshot().Render())
+	return nil
+}
+
+// renderFailureScenario replays the Section 5 example (Figures 14-17):
+// node 9 fails, nodes 10 and 12 search concurrently, node 9 recovers as a
+// leaf, and node 13's request triggers an anomaly repair.
+func renderFailureScenario() error {
+	const d = time.Millisecond
+	w, err := sim.New(sim.Config{
+		P:     4,
+		Delay: sim.FixedDelay(d),
+		Node: core.Config{
+			FT:             true,
+			Delta:          d,
+			CSEstimate:     d,
+			SuspicionSlack: d / 2,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 14 — node 9 fails; 10 and 12 have issued requests:")
+	w.Fail(ocube.FromLabel(9), 0)
+	w.RequestCS(ocube.FromLabel(10), d)
+	w.RequestCS(ocube.FromLabel(12), 4*d)
+	fmt.Print(w.Snapshot().Render())
+	if !w.RunUntilQuiescent(time.Minute) {
+		return fmt.Errorf("searches did not quiesce")
+	}
+	fmt.Println("\nFigure 15/16 — after the concurrent searches (10 is the new root):")
+	fmt.Print(w.Snapshot().Render())
+	w.Recover(ocube.FromLabel(9), 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		return fmt.Errorf("recovery did not quiesce")
+	}
+	fmt.Println("\nafter node 9 recovers as a leaf under 10 (its old sons are stale):")
+	fmt.Print(w.Snapshot().Render())
+	w.RequestCS(ocube.FromLabel(13), 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		return fmt.Errorf("anomaly repair did not quiesce")
+	}
+	fmt.Println("\nFigure 17 — after node 13's request raised an anomaly and reattached:")
+	fmt.Print(w.Snapshot().Render())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ocmxviz:", err)
+	os.Exit(1)
+}

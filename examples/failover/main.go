@@ -1,0 +1,79 @@
+// Failover: an eight-node cluster with the fault-tolerance layer enabled
+// (Section 5 of the paper). A node is killed mid-run — taking whatever
+// requests route through it down with it — and the survivors detect the
+// failure by timeout, reconnect the open-cube with search_father, and
+// keep granting the mutex.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	const (
+		delta = 10 * time.Millisecond // assumed max message delay δ
+		cs    = time.Millisecond      // critical-section estimate e
+		slack = 500 * time.Millisecond
+	)
+	cluster, err := opencubemx.NewCluster(8,
+		opencubemx.WithFaultTolerance(delta, cs, slack))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	lock := func(node int) {
+		m, err := cluster.Mutex(node)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := m.Lock(ctx); err != nil {
+			log.Fatalf("node %d lock: %v", node, err)
+		}
+		fmt.Printf("node %d entered the critical section after %v\n",
+			node, time.Since(start).Round(time.Millisecond))
+		if err := m.Unlock(); err != nil {
+			log.Fatalf("node %d unlock: %v", node, err)
+		}
+	}
+
+	fmt.Println("--- healthy cluster")
+	lock(7) // request routes 7 → 6 → 4 → 0 through the pristine tree
+	lock(3)
+
+	// Node 4 sits on node 7's path to the root (positions: 7 → 6 → 4).
+	// Killing it makes 7's next request vanish; the suspicion timeout and
+	// search_father repair the tree, and the request is re-issued.
+	fmt.Println("--- killing node 4 (an interior tree node)")
+	m4, err := cluster.Mutex(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = m4 // node 4 is about to die; its handle goes unused
+	if err := killNode(cluster, 4); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("--- survivors keep acquiring the mutex")
+	lock(7)
+	lock(6)
+	lock(1)
+	fmt.Println("failover complete: the open-cube healed around the dead node")
+}
+
+// killNode simulates a fail-stop crash: the node's event loop stops and
+// every message sent to it from now on is silently lost.
+func killNode(c *opencubemx.Cluster, id int) error {
+	return c.Kill(id)
+}

@@ -1,0 +1,214 @@
+// Package cluster is the live runtime: it drives a core.Node state
+// machine with one goroutine per node over a transport, with real timers.
+// The same state machine runs deterministically under internal/sim; this
+// package exists so the library is usable as an actual lock service
+// (examples/quickstart, examples/tcpcluster).
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("cluster: node closed")
+
+// Node runs one protocol participant.
+type Node struct {
+	sm *core.Node
+	tr transport.Transport
+
+	calls  chan call
+	timerC chan timerFire
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	grantC   chan core.Grant
+	onEffect func(core.Effect) // test hook
+}
+
+type call struct {
+	kind  string // "lock", "unlock"
+	reply chan error
+}
+
+type timerFire struct {
+	kind core.TimerKind
+	gen  uint64
+}
+
+// New builds and starts a node. The caller owns the transport's lifetime.
+func New(cfg core.Config, tr transport.Transport) (*Node, error) {
+	sm, err := core.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		sm:     sm,
+		tr:     tr,
+		calls:  make(chan call),
+		timerC: make(chan timerFire, 128),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		grantC: make(chan core.Grant, 1),
+	}
+	go n.loop()
+	return n, nil
+}
+
+// SetEffectHook installs an observer for emitted effects (tests only;
+// call before any traffic).
+func (n *Node) SetEffectHook(fn func(core.Effect)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onEffect = fn
+}
+
+// loop is the node's single-threaded event loop.
+func (n *Node) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m, ok := <-n.tr.Recv():
+			if !ok {
+				return
+			}
+			n.apply(n.sm.HandleMessage(m))
+		case tf := <-n.timerC:
+			n.apply(n.sm.HandleTimer(tf.kind, tf.gen))
+		case c := <-n.calls:
+			switch c.kind {
+			case "lock":
+				effs, err := n.sm.RequestCS()
+				n.apply(effs)
+				c.reply <- err
+			case "unlock":
+				effs, err := n.sm.ReleaseCS()
+				n.apply(effs)
+				c.reply <- err
+			}
+		}
+	}
+}
+
+// apply executes effects emitted by the state machine.
+func (n *Node) apply(effs []core.Effect) {
+	n.mu.Lock()
+	hook := n.onEffect
+	n.mu.Unlock()
+	for _, e := range effs {
+		if hook != nil {
+			hook(e)
+		}
+		switch e := e.(type) {
+		case core.Send:
+			// Transport errors are equivalent to message loss, which the
+			// failure machinery already tolerates.
+			_ = n.tr.Send(e.Msg)
+		case core.StartTimer:
+			n.armTimer(e)
+		case core.Grant:
+			select {
+			case n.grantC <- e:
+			default:
+			}
+		}
+	}
+}
+
+// armTimer schedules a timer fire. Timers are not tracked individually:
+// a fire after Close is swallowed by the stop select, and a fire for an
+// outdated generation is ignored by the state machine, so letting
+// obsolete timers run out (their delays are bounded by the protocol's
+// timeouts) is simpler than a cancellation registry.
+func (n *Node) armTimer(e core.StartTimer) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	time.AfterFunc(e.Delay, func() {
+		select {
+		case n.timerC <- timerFire{kind: e.Kind, gen: e.Gen}:
+		case <-n.stop:
+		}
+	})
+}
+
+// Lock blocks until the node holds the token and may enter the critical
+// section, or ctx is done. On cancellation after the request was issued,
+// the eventual grant is released immediately.
+func (n *Node) Lock(ctx context.Context) error {
+	reply := make(chan error, 1)
+	select {
+	case n.calls <- call{kind: "lock", reply: reply}:
+	case <-n.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := <-reply; err != nil {
+		return fmt.Errorf("cluster: lock: %w", err)
+	}
+	select {
+	case <-n.grantC:
+		return nil
+	case <-ctx.Done():
+		// Abandon: when the grant eventually arrives, give it right back.
+		go func() {
+			select {
+			case <-n.grantC:
+				_ = n.Unlock()
+			case <-n.stop:
+			}
+		}()
+		return ctx.Err()
+	case <-n.stop:
+		return ErrClosed
+	}
+}
+
+// Unlock releases the critical section.
+func (n *Node) Unlock() error {
+	reply := make(chan error, 1)
+	select {
+	case n.calls <- call{kind: "unlock", reply: reply}:
+	case <-n.stop:
+		return ErrClosed
+	}
+	if err := <-reply; err != nil {
+		return fmt.Errorf("cluster: unlock: %w", err)
+	}
+	return nil
+}
+
+// State exposes the underlying state machine for inspection. The returned
+// pointer must only be read while the node is idle (tests).
+func (n *Node) State() *core.Node { return n.sm }
+
+// Close stops the node's loop and timers. It does not close the
+// transport.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+
+	close(n.stop)
+	<-n.done
+	return nil
+}

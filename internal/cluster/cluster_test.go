@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+func newPair(t *testing.T) (*Node, *Node, *transport.Mesh) {
+	t.Helper()
+	mesh, err := transport.NewMesh(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(core.Config{Self: 0, P: 1}, mesh.Endpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(core.Config{Self: 1, P: 1}, mesh.Endpoint(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b, mesh
+}
+
+func TestLockUnlockPingPong(t *testing.T) {
+	a, b, mesh := newPair(t)
+	defer mesh.Close()
+	defer a.Close()
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		n := a
+		if i%2 == 1 {
+			n = b
+		}
+		if err := n.Lock(ctx); err != nil {
+			t.Fatalf("lock %d: %v", i, err)
+		}
+		if err := n.Unlock(); err != nil {
+			t.Fatalf("unlock %d: %v", i, err)
+		}
+	}
+}
+
+func TestUnlockWithoutLock(t *testing.T) {
+	a, b, mesh := newPair(t)
+	defer mesh.Close()
+	defer a.Close()
+	defer b.Close()
+	if err := a.Unlock(); err == nil {
+		t.Error("unlock without lock succeeded")
+	}
+}
+
+func TestDoubleLockRejected(t *testing.T) {
+	a, b, mesh := newPair(t)
+	defer mesh.Close()
+	defer a.Close()
+	defer b.Close()
+	ctx := context.Background()
+	if err := a.Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var second error
+	go func() {
+		defer wg.Done()
+		second = a.Lock(ctx)
+	}()
+	wg.Wait()
+	if second == nil {
+		t.Error("second concurrent lock on the same node succeeded")
+	}
+	if err := a.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedNodeErrors(t *testing.T) {
+	a, b, mesh := newPair(t)
+	defer mesh.Close()
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := a.Lock(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("lock on closed node = %v, want ErrClosed", err)
+	}
+	if err := a.Unlock(); !errors.Is(err, ErrClosed) {
+		t.Errorf("unlock on closed node = %v, want ErrClosed", err)
+	}
+}
+
+func TestStateIntrospection(t *testing.T) {
+	a, b, mesh := newPair(t)
+	defer mesh.Close()
+	defer a.Close()
+	defer b.Close()
+	if !a.State().TokenHere() {
+		t.Error("node 0 must start with the token")
+	}
+	if a.State().Self() != ocube.Pos(0) {
+		t.Error("wrong self")
+	}
+}

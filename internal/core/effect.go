@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ocube"
+)
+
+// TimerKind enumerates the node's logical timers. Each kind has an
+// associated generation counter; re-arming or cancelling a timer bumps the
+// generation, so drivers never need to cancel anything — stale fires are
+// ignored by HandleTimer.
+type TimerKind uint8
+
+const (
+	// TimerSuspicion fires when an asking node has waited too long for the
+	// token (Section 5: at least 2·pmax·δ after sending its request) and
+	// must start search_father.
+	TimerSuspicion TimerKind = iota + 1
+	// TimerTokenReturn fires when a lender root's loan is overdue
+	// (2δ+e or (pmax+1)δ+e) and triggers an enquiry to the source.
+	TimerTokenReturn
+	// TimerEnquiry fires when an enquiry got no answer within 2δ; the
+	// source is presumed down and the token is regenerated.
+	TimerEnquiry
+	// TimerSearchRound closes a search_father test round after 2δ:
+	// unanswered nodes are discarded, deferred nodes are retested.
+	TimerSearchRound
+	// TimerTransferAck fires when an unlent token transfer was not
+	// acknowledged within 2δ: the recipient was dead at delivery, the
+	// token is lost, and the sender — its guardian — regenerates it.
+	TimerTransferAck
+
+	numTimerKinds = iota
+)
+
+// String names the timer kind.
+func (k TimerKind) String() string {
+	switch k {
+	case TimerSuspicion:
+		return "suspicion"
+	case TimerTokenReturn:
+		return "token-return"
+	case TimerEnquiry:
+		return "enquiry"
+	case TimerSearchRound:
+		return "search-round"
+	case TimerTransferAck:
+		return "transfer-ack"
+	default:
+		return fmt.Sprintf("timer(%d)", uint8(k))
+	}
+}
+
+// Effect is an action requested by the state machine; drivers (the
+// discrete-event simulator or the live goroutine runtime) execute effects
+// in order.
+type Effect interface{ effect() }
+
+// Send transmits a message. Msg.From and Msg.To are always set.
+type Send struct{ Msg Message }
+
+// Grant tells the application layer it now holds the token and may enter
+// the critical section. The application must eventually call ReleaseCS.
+type Grant struct {
+	// Lender is the node the token will be given back to on release
+	// (self if the node became the root).
+	Lender ocube.Pos
+}
+
+// StartTimer schedules a timer fire: after Delay the driver must call
+// HandleTimer(Kind, Gen). Earlier generations of the same kind are stale
+// and ignored, so drivers may simply let them fire.
+type StartTimer struct {
+	Kind  TimerKind
+	Gen   uint64
+	Delay time.Duration
+}
+
+// TokenRegenerated reports that the node created a replacement token
+// (observability; safety analysis relies on these being genuine losses).
+type TokenRegenerated struct{ Reason string }
+
+// BecameRoot reports that the node concluded it is the new tree root
+// (observability).
+type BecameRoot struct{ Reason string }
+
+// Dropped reports a message discarded by a defensive guard
+// (observability).
+type Dropped struct {
+	Msg    Message
+	Reason string
+}
+
+// SearchStarted reports that search_father began at the given phase
+// (observability; the harness uses it to count per-search tested nodes).
+type SearchStarted struct{ Phase int }
+
+// SearchEnded reports search_father completion. Father is the adopted
+// father, or None if the node became the root. Tested is the number of
+// test messages sent during the whole search.
+type SearchEnded struct {
+	Father ocube.Pos
+	Tested int
+}
+
+func (Send) effect()             {}
+func (Grant) effect()            {}
+func (StartTimer) effect()       {}
+func (TokenRegenerated) effect() {}
+func (BecameRoot) effect()       {}
+func (Dropped) effect()          {}
+func (SearchStarted) effect()    {}
+func (SearchEnded) effect()      {}

@@ -1,0 +1,523 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ocube"
+)
+
+// This file implements Section 5 of the paper: failure suspicion, the
+// root's enquiry and token regeneration, the search_father reconnection
+// procedure, node recovery and anomaly repair. Everything here is inert
+// unless Config.FT is set.
+
+// searchState tracks one search_father procedure (Section 5). A phase d
+// tests every node at open-cube distance d; unanswered nodes are discarded
+// after a 2δ round, try-later answers are retested in the next round, and
+// a phase with every candidate discarded moves the search to phase d+1.
+type searchState struct {
+	active      bool
+	phase       int
+	startPhase  int                // phase the search began at
+	sweeps      int                // completed failed full sweeps (from phase 1)
+	outstanding map[ocube.Pos]bool // probed this round, answer pending
+	deferred    map[ocube.Pos]bool // answered try-later; probe again next round
+	remaining   int                // candidates not yet discarded this phase
+	tested      int                // total test messages sent this search
+	recovery    bool               // search started by Recover (no request to re-issue)
+}
+
+// slack returns the configured timeout slack, never less than δ/8 so that
+// an answer arriving at exactly 2δ is never tied with the round deadline.
+func (n *Node) slack() time.Duration {
+	if s := n.cfg.SuspicionSlack; s > n.cfg.Delta/8 {
+		return s
+	}
+	return n.cfg.Delta / 8
+}
+
+// suspicionDelay is the paper's "at least 2·pmax·δ" plus slack.
+func (n *Node) suspicionDelay() time.Duration {
+	return 2*time.Duration(n.cfg.P)*n.cfg.Delta + n.slack()
+}
+
+// roundDelay is the 2δ window in which any probed correct node answers,
+// plus slack to absorb scheduling ties.
+func (n *Node) roundDelay() time.Duration {
+	return 2*n.cfg.Delta + n.slack()
+}
+
+// armSuspicion starts the token-arrival watchdog for a pending request.
+func (n *Node) armSuspicion() {
+	if !n.cfg.FT {
+		return
+	}
+	n.armTimer(TimerSuspicion, n.suspicionDelay())
+}
+
+// onSuspicion fires when an asking node has waited too long for the token:
+// start search_father from phase power+1 (Section 5, "asking nodes with
+// father ≠ nil").
+func (n *Node) onSuspicion() {
+	if n.mandator == ocube.None || n.search.active {
+		return
+	}
+	n.startSearch(n.view().Power()+1, false)
+}
+
+// --- root loan enquiry ---
+
+// beginLoan records an outgoing loan and arms the return watchdog:
+// 2δ+e when the token goes straight to the source, (pmax+1)δ+e otherwise
+// (Section 5, "Root").
+func (n *Node) beginLoan(target, source ocube.Pos, seq uint64) {
+	n.loanTarget, n.loanSource, n.loanSeq = target, source, seq
+	n.returnGrace = false
+	if !n.cfg.FT {
+		return
+	}
+	var d time.Duration
+	if target == source {
+		d = 2*n.cfg.Delta + n.cfg.CSEstimate
+	} else {
+		d = time.Duration(n.cfg.P+1)*n.cfg.Delta + n.cfg.CSEstimate
+	}
+	n.armTimer(TimerTokenReturn, d+n.slack())
+}
+
+// awaitingReturn reports whether the node is a lender whose loan is
+// outstanding.
+func (n *Node) awaitingReturn() bool {
+	return n.asking && !n.tokenHere && n.mandator == ocube.None && n.loanSource != ocube.None
+}
+
+// onReturnOverdue fires when the loan's return deadline passed: enquire
+// with the source. If the source already claimed it returned the token
+// and the grace window elapsed without an arrival, the claimed return
+// does not exist (delays are bounded by δ): the token is lost — this is
+// how a loan made against a recovery duplicate, whose token the
+// non-asking recipient discarded, is finally detected.
+func (n *Node) onReturnOverdue() {
+	if !n.awaitingReturn() {
+		return
+	}
+	if n.returnGrace {
+		n.regenerateToken("confirmed-returned token never arrived")
+		return
+	}
+	n.send(Message{Kind: KindEnquiry, To: n.loanSource, Seq: n.loanSeq})
+	n.armTimer(TimerEnquiry, n.roundDelay())
+}
+
+// onEnquiry answers a lender's enquiry about a specific loan, identified
+// by sequence so that answers about a finished loan are never confused
+// with the source's later requests.
+func (n *Node) onEnquiry(m Message) {
+	var status EnquiryStatus
+	switch {
+	case n.inCS && sameRequest(n.csSeq, m.Seq):
+		status = StatusInCS
+	case n.mandator == n.cfg.Self && sameRequest(n.curSeq, m.Seq):
+		// Still waiting for (or searching a new father because of) that
+		// very request — the mandate stays set during search_father — so
+		// the token never arrived: it was lost on the path.
+		status = StatusTokenLost
+	default:
+		status = StatusTokenReturned
+	}
+	n.send(Message{Kind: KindEnquiryReply, To: m.From, Seq: m.Seq, Status: status})
+}
+
+// onEnquiryReply processes the source's answer (Section 5: live and safe).
+func (n *Node) onEnquiryReply(m Message) {
+	if !n.awaitingReturn() || m.Seq != n.loanSeq {
+		return
+	}
+	switch m.Status {
+	case StatusInCS:
+		// Keep waiting a full critical section plus round trip.
+		n.returnGrace = false
+		n.cancelTimer(TimerEnquiry)
+		n.armTimer(TimerTokenReturn, 2*n.cfg.Delta+n.cfg.CSEstimate+n.slack())
+	case StatusTokenReturned:
+		// If a return is genuinely in flight it arrives within δ; beyond
+		// that grace the next TimerTokenReturn fire concludes loss.
+		n.returnGrace = true
+		n.cancelTimer(TimerEnquiry)
+		n.armTimer(TimerTokenReturn, n.cfg.Delta+n.slack())
+	case StatusTokenLost:
+		n.regenerateToken("source reported token lost")
+	}
+}
+
+// onEnquiryTimeout fires when the source did not answer within 2δ: it is
+// down. The token cannot be in flight to us anymore (see DESIGN.md note
+// 4), so regeneration is safe.
+func (n *Node) onEnquiryTimeout() {
+	if !n.awaitingReturn() {
+		return
+	}
+	n.regenerateToken("enquiry unanswered, source presumed down")
+}
+
+// regenerateToken replaces a lost token at a lender root and resumes
+// service.
+func (n *Node) regenerateToken(reason string) {
+	n.cancelTimer(TimerTokenReturn)
+	n.cancelTimer(TimerEnquiry)
+	n.loanSource, n.loanTarget = ocube.None, ocube.None
+	n.returnGrace = false
+	n.tokenHere = true
+	n.emit(TokenRegenerated{Reason: reason})
+	n.asking = false
+	n.drain()
+}
+
+// --- unlent transfer guardianship (extension, see KindTokenAck) ---
+
+// guardTransfer records an outgoing unlent token and arms the
+// acknowledgment watchdog. Inert without fault tolerance.
+func (n *Node) guardTransfer(to ocube.Pos, seq uint64, source ocube.Pos) {
+	if !n.cfg.FT {
+		return
+	}
+	n.xferTo, n.xferSeq, n.xferSource, n.xferPending = to, seq, source, true
+	n.armTimer(TimerTransferAck, n.roundDelay())
+}
+
+// onTokenAck releases guardianship of an acknowledged transfer.
+func (n *Node) onTokenAck(m Message) {
+	if n.xferPending && m.From == n.xferTo && m.Seq == n.xferSeq {
+		n.xferPending = false
+		n.cancelTimer(TimerTransferAck)
+	}
+}
+
+// onTransferTimeout fires when an unlent token was never acknowledged:
+// under fail-stop nodes, reliable channels and bounded delay, the
+// recipient was dead at delivery and the token is gone. The sender — its
+// guardian — reclaims the root role and regenerates it.
+func (n *Node) onTransferTimeout() {
+	if !n.xferPending {
+		return
+	}
+	n.xferPending = false
+	if n.xferSource != ocube.None && n.granted[n.xferSource] == n.xferSeq {
+		// The transfer never reached its recipient, so the source was not
+		// actually granted: let its re-issued request through.
+		delete(n.granted, n.xferSource)
+	}
+	if n.search.active {
+		n.endSearch()
+	}
+	n.becomeRootWithToken("unlent token transfer unacknowledged")
+}
+
+// becomeRootWithToken installs this node as the root holding a fresh
+// token and serves whatever obligation is pending: its own claim, a
+// mandate, or the queue.
+func (n *Node) becomeRootWithToken(reason string) {
+	n.father = ocube.None
+	n.emit(BecameRoot{Reason: reason})
+	n.tokenHere = true
+	n.emit(TokenRegenerated{Reason: reason})
+	switch {
+	case n.mandator == n.cfg.Self:
+		// Our own claim: enter the critical section as the new root.
+		n.cancelTimer(TimerSuspicion)
+		n.lender = n.cfg.Self
+		n.csSeq = n.curSeq
+		n.mandator = ocube.None
+		n.curSource = ocube.None
+		n.inCS = true
+		n.emit(Grant{Lender: n.cfg.Self})
+		// asking remains true until ReleaseCS.
+	case n.mandator != ocube.None:
+		// Serve the mandate by lending the regenerated token.
+		n.cancelTimer(TimerSuspicion)
+		n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
+			Source: n.curSource, Seq: n.curSeq})
+		n.tokenHere = false
+		n.beginLoan(n.mandator, n.curSource, n.curSeq)
+		n.mandator = ocube.None
+		n.curSource = ocube.None
+		// asking remains true until the token returns.
+	default:
+		n.asking = false
+		n.drain()
+	}
+}
+
+// --- search_father (Section 5) ---
+
+// startSearch begins the iterative father research at the given phase.
+func (n *Node) startSearch(phase int, recovery bool) {
+	if phase < 1 {
+		phase = 1
+	}
+	n.search = searchState{active: true, phase: phase, startPhase: phase, recovery: recovery}
+	n.emit(SearchStarted{Phase: phase})
+	if phase > n.cfg.P {
+		n.searchExhausted()
+		return
+	}
+	n.startPhase()
+}
+
+// startPhase probes every node at distance search.phase.
+func (n *Node) startPhase() {
+	s := &n.search
+	cands := ocube.AtDist(n.cfg.Self, s.phase)
+	s.outstanding = make(map[ocube.Pos]bool, len(cands))
+	s.deferred = make(map[ocube.Pos]bool)
+	s.remaining = len(cands)
+	for _, k := range cands {
+		s.outstanding[k] = true
+		s.tested++
+		n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
+	}
+	n.armTimer(TimerSearchRound, n.roundDelay())
+}
+
+// onSearchRound closes a test round: silent candidates are discarded;
+// deferred (try-later) candidates are probed again; a phase with no
+// candidates left fails and the search moves outward.
+func (n *Node) onSearchRound() {
+	if !n.search.active {
+		return
+	}
+	s := &n.search
+	s.remaining -= len(s.outstanding) // no answer within 2δ: discarded
+	s.outstanding = make(map[ocube.Pos]bool, len(s.deferred))
+	if s.remaining > 0 {
+		for k := range s.deferred {
+			s.outstanding[k] = true
+			s.tested++
+			n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
+		}
+		s.deferred = make(map[ocube.Pos]bool)
+		n.armTimer(TimerSearchRound, n.roundDelay())
+		return
+	}
+	// Phase concluded with no success.
+	s.phase++
+	if s.phase > n.cfg.P {
+		n.searchExhausted()
+		return
+	}
+	n.startPhase()
+}
+
+// onTest answers a search probe (Section 5, three cases, plus the
+// concurrent-suspicion rules).
+func (n *Node) onTest(m Message) {
+	d := m.Phase
+	if n.search.active {
+		// Concurrent searches (Section 5, "concurrent suspicions",
+		// with the junior→senior amendment — see Message.FromSearcher).
+		switch {
+		case n.search.phase >= d:
+			// Our in-search power is phase-1 ≥ d-1; flag the answer so
+			// that only junior searchers adopt it. This subsumes the
+			// paper's equal-phase identity tie-break.
+			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d,
+				Reply: ReplyOK, FromSearcher: true})
+		case m.From < n.cfg.Self && !n.cfg.DisableEarlyAdopt:
+			// A senior prober is ahead of us. The paper's optimization
+			// lets us conclude father := prober immediately; restricted
+			// to senior probers to keep adoption acyclic.
+			n.concludeSearch(m.From)
+		default:
+			// A junior searcher probed a live senior search: keep it
+			// waiting so it cannot exhaust its sweep past us and
+			// regenerate a token behind our back. It adopts us once our
+			// phase reaches its level, or gets a definitive answer when
+			// our search ends.
+			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d,
+				Reply: ReplyTryLater})
+		}
+		return
+	}
+	p := n.view().Power()
+	if n.xferPending {
+		// We are the guardian of an in-flight unlent token: until the
+		// acknowledgment arrives we either still logically own it (and
+		// will regenerate it as the root on loss) or the acknowledged
+		// owner is about to exist. Claiming root power keeps the "some
+		// node answers ok whenever a token exists" invariant unbroken
+		// across ownership transfers.
+		p = n.cfg.P
+	}
+	switch {
+	case p >= d:
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Reply: ReplyOK})
+	case n.asking:
+		// Our power could still increase before the current request
+		// terminates.
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Reply: ReplyTryLater})
+	default:
+		// Cannot be the searcher's father: stay silent, the searcher
+		// discards us after 2δ.
+	}
+}
+
+// onTestReply processes an answer to one of our probes.
+func (n *Node) onTestReply(m Message) {
+	s := &n.search
+	if !s.active || m.Phase != s.phase || !s.outstanding[m.From] {
+		return // stale answer from an earlier phase or search
+	}
+	switch m.Reply {
+	case ReplyOK:
+		if m.FromSearcher && m.From > n.cfg.Self && !n.cfg.DisableTieBreak {
+			// A junior searcher's promise may be undercut when its own
+			// search concludes: treat it as discarded. Only the junior
+			// side of a searcher pair adopts, so concurrent searches
+			// converge on the smallest searching identity.
+			delete(s.outstanding, m.From)
+			s.remaining--
+			return
+		}
+		n.concludeSearch(m.From)
+	case ReplyTryLater:
+		delete(s.outstanding, m.From)
+		if n.queuedTarget(m.From) {
+			// The answerer's pending request is queued at this very node
+			// (it adopted us and re-issued): its power cannot increase
+			// before we serve it, so deferring it would deadlock the
+			// sweep against our own queue. Discard it; the confirmation
+			// sweep re-probes it before any regeneration.
+			s.remaining--
+			return
+		}
+		s.deferred[m.From] = true
+	}
+}
+
+// queuedTarget reports whether a request involving k — as the token
+// recipient or as the ultimate source (k's request proxied by another
+// node) — waits in our queue. Either way k stays asking until we serve
+// that entry, so its try-later answer can never resolve on its own.
+func (n *Node) queuedTarget(k ocube.Pos) bool {
+	for _, q := range n.queue {
+		if !q.local && (q.msg.Target == k || q.msg.Source == k) {
+			return true
+		}
+	}
+	return false
+}
+
+// concludeSearch adopts a new father and re-issues the pending request,
+// if any.
+func (n *Node) concludeSearch(father ocube.Pos) {
+	tested := n.search.tested
+	n.endSearch()
+	n.father = father
+	n.emit(SearchEnded{Father: father, Tested: tested})
+	n.reissueRequest()
+}
+
+// searchExhausted handles a search in which even phase pmax failed.
+// Becoming the root and regenerating the token is only sound if every
+// other node was probed and discarded; a search that started above phase
+// 1 (its start phase derives from a father pointer that structural
+// corruption — e.g. colliding concurrent adoptions, later repaired by
+// anomalies — can overstate) skipped the closer nodes, among which the
+// true root may hide. Such a search restarts once as a full sweep from
+// phase 1; only a failed full sweep concludes root + regeneration
+// (Section 5, strengthened — see DESIGN.md).
+func (n *Node) searchExhausted() {
+	sweeps := n.search.sweeps
+	if n.search.startPhase == 1 {
+		sweeps++
+	}
+	if n.cfg.DisableConfirmSweep {
+		sweeps = 2 // paper-faithful: regenerate on the first exhaustion
+	}
+	if sweeps < 2 {
+		// Not yet two consecutive failed FULL sweeps: restart from phase
+		// 1. The confirmation sweep re-probes every node, so a root or
+		// transfer guardian that emerged behind the previous pass — the
+		// token is a moving target — answers ok and is adopted instead of
+		// shadowed by a regeneration.
+		tested, recovery := n.search.tested, n.search.recovery
+		n.endSearch()
+		n.search = searchState{active: true, phase: 1, startPhase: 1,
+			sweeps: sweeps, recovery: recovery, tested: tested}
+		n.emit(SearchStarted{Phase: 1})
+		n.startPhase()
+		return
+	}
+	tested := n.search.tested
+	n.endSearch()
+	n.emit(SearchEnded{Father: ocube.None, Tested: tested})
+	n.becomeRootWithToken("search_father exhausted")
+}
+
+// endSearch clears search state and its round timer.
+func (n *Node) endSearch() {
+	n.search = searchState{}
+	n.cancelTimer(TimerSearchRound)
+}
+
+// reissueRequest regenerates the pending request towards the (new) father
+// with a fresh sequence number, so stale copies of the old one are
+// discarded wherever they surface.
+func (n *Node) reissueRequest() {
+	if n.mandator == ocube.None {
+		// Recovery search: nothing pending, resume queue service.
+		n.asking = false
+		n.drain()
+		return
+	}
+	// Stay within the request's sequence block so the source's enquiry
+	// answers still recognize the loan (see seqStride).
+	n.curSeq++
+	if n.curSource == n.cfg.Self {
+		n.seq = n.curSeq
+	}
+	n.send(Message{Kind: KindRequest, To: n.father,
+		Target: n.cfg.Self, Source: n.curSource, Seq: n.curSeq, Regen: true})
+	// The adopted father may itself be repairing (it possibly answered
+	// from inside its own search), so give the re-issued request room for
+	// a full search of its own before suspecting again.
+	n.armTimer(TimerSuspicion, n.suspicionDelay()+time.Duration(n.cfg.P+1)*n.roundDelay())
+}
+
+// onAnomaly reacts to a father's structural rejection: behave exactly as
+// if the father were down and search for a new one, starting at phase
+// dist(self, father) = power+1 (Section 5).
+func (n *Node) onAnomaly(m Message) {
+	if m.From != n.father || n.mandator == ocube.None || n.search.active {
+		return
+	}
+	n.startSearch(ocube.Dist(n.cfg.Self, n.father), false)
+}
+
+// Recover re-initializes a node after a fail-stop crash. Per Section 5 it
+// retains only pmax and the distance function (pure label arithmetic
+// here) from stable storage — plus its request sequence counter, our
+// stable-storage addition that keeps re-issued requests monotonic (see
+// DESIGN.md). The node reconnects by running search_father from phase 1,
+// i.e. as if it were a leaf.
+func (n *Node) Recover() []Effect {
+	n.father = ocube.None
+	n.tokenHere = false
+	n.asking = false
+	n.inCS = false
+	n.wantCS = false
+	n.mandator = ocube.None
+	n.lender = ocube.None
+	n.curSource = ocube.None
+	n.loanSource, n.loanTarget = ocube.None, ocube.None
+	n.returnGrace = false
+	n.xferPending = false
+	n.queue = nil
+	n.seen = make(map[ocube.Pos]uint64)
+	n.granted = make(map[ocube.Pos]uint64)
+	for k := range n.gens {
+		n.gens[k]++ // invalidate every pre-crash timer
+	}
+	n.startSearch(1, true)
+	return n.take()
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ocube"
+)
+
+// Kind identifies the protocol message types. Request and Token implement
+// Section 3.3; the remaining kinds implement the failure handling of
+// Section 5.
+type Kind uint8
+
+const (
+	// KindRequest asks that the token be sent to Target on behalf of
+	// Source (the paper's request(j), extended with the source identity as
+	// Section 5 prescribes for root enquiry).
+	KindRequest Kind = iota + 1
+	// KindToken carries the token; Lender is the node the token must be
+	// given back to, or None for an outright transfer (the paper's
+	// token(nil)).
+	KindToken
+	// KindEnquiry is sent by a lender root to the source of a loan whose
+	// return is overdue.
+	KindEnquiry
+	// KindEnquiryReply answers an enquiry with Status.
+	KindEnquiryReply
+	// KindTest is a search_father probe for phase Phase.
+	KindTest
+	// KindTestReply answers a test with Reply, echoing Phase.
+	KindTestReply
+	// KindAnomaly tells Target that its father relation is structurally
+	// invalid (detected after a recovery) and that it must search for a
+	// new father.
+	KindAnomaly
+	// KindObsolete tells a request's target that the request it keeps
+	// re-issuing was already granted through another copy (a
+	// failure-recovery duplicate served elsewhere), so the pending
+	// mandate must be abandoned. Without it a proxy whose mandate was
+	// satisfied behind its back re-issues forever against the
+	// duplicate-discard guard (protocol extension, see DESIGN.md).
+	KindObsolete
+	// KindTokenAck acknowledges the receipt of an UNLENT token (an
+	// ownership transfer or a loan return). Lent tokens are guarded by
+	// their lender's return watchdog; unlent ones have no natural
+	// guardian, so with fault tolerance enabled the sender keeps
+	// guardianship until this acknowledgment arrives and regenerates the
+	// token if it never does (the recipient died). This is a protocol
+	// extension over the paper, which leaves outright transfers to dead
+	// nodes undetectable (see DESIGN.md).
+	KindTokenAck
+)
+
+// String returns the lowercase protocol name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRequest:
+		return "request"
+	case KindToken:
+		return "token"
+	case KindEnquiry:
+		return "enquiry"
+	case KindEnquiryReply:
+		return "enquiry-reply"
+	case KindTest:
+		return "test"
+	case KindTestReply:
+		return "test-reply"
+	case KindAnomaly:
+		return "anomaly"
+	case KindTokenAck:
+		return "token-ack"
+	case KindObsolete:
+		return "obsolete"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// EnquiryStatus is the source's answer to a root enquiry (Section 5).
+type EnquiryStatus uint8
+
+const (
+	// StatusInCS means "wait, I'm still in the critical section".
+	StatusInCS EnquiryStatus = iota + 1
+	// StatusTokenReturned means "I've already sent back the token".
+	StatusTokenReturned
+	// StatusTokenLost means the source never received the token, so it was
+	// lost at a failed node on the path.
+	StatusTokenLost
+)
+
+// String names the status.
+func (s EnquiryStatus) String() string {
+	switch s {
+	case StatusInCS:
+		return "in-cs"
+	case StatusTokenReturned:
+		return "token-returned"
+	case StatusTokenLost:
+		return "token-lost"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// TestReply is a node's answer to a search_father test probe.
+type TestReply uint8
+
+const (
+	// ReplyOK means the answering node meets the requirements to be the
+	// searcher's father (its power is at least the tested phase).
+	ReplyOK TestReply = iota + 1
+	// ReplyTryLater means the answering node's power may still increase
+	// (it is currently asking), so the searcher must test it again.
+	ReplyTryLater
+)
+
+// String names the reply.
+func (r TestReply) String() string {
+	switch r {
+	case ReplyOK:
+		return "ok"
+	case ReplyTryLater:
+		return "try-later"
+	default:
+		return fmt.Sprintf("reply(%d)", uint8(r))
+	}
+}
+
+// Message is the single wire format for all protocol traffic. Fields not
+// meaningful for a Kind are zero. All fields are exported so transports
+// can gob-encode messages directly.
+type Message struct {
+	Kind Kind
+	From ocube.Pos
+	To   ocube.Pos
+
+	// Request fields.
+	Target ocube.Pos // node the token must be sent to
+	Source ocube.Pos // ultimate critical-section requester
+	Seq    uint64    // per-source request sequence, for duplicate discard
+	Regen  bool      // request re-issued by failure recovery
+
+	// Token fields (Source and Seq also identify the served request).
+	Lender ocube.Pos // give the token back to this node; None = keep it
+
+	// Failure-handling fields.
+	Phase  int           // test/test-reply: the search phase d
+	Status EnquiryStatus // enquiry-reply
+	Reply  TestReply     // test-reply
+	// FromSearcher marks an ok test-reply sent from inside a concurrent
+	// search_father. Such a promise can be undercut when the answering
+	// search later concludes at a lower level, so a searcher only adopts
+	// a flagged answerer with a SMALLER identity: adoption among
+	// concurrent searchers flows strictly junior→senior, which makes the
+	// smallest searcher the unique election winner and prevents both
+	// father cycles and double token regeneration (an amendment to the
+	// paper's concurrent-suspicion rules, see DESIGN.md).
+	FromSearcher bool
+}
+
+// String renders a compact human-readable form for logs and test failures.
+func (m Message) String() string {
+	switch m.Kind {
+	case KindRequest:
+		return fmt.Sprintf("request(target=%v src=%v seq=%d)%s %v->%v",
+			m.Target, m.Source, m.Seq, regenMark(m.Regen), m.From, m.To)
+	case KindToken:
+		return fmt.Sprintf("token(lender=%v src=%v seq=%d) %v->%v",
+			m.Lender, m.Source, m.Seq, m.From, m.To)
+	case KindEnquiry:
+		return fmt.Sprintf("enquiry(seq=%d) %v->%v", m.Seq, m.From, m.To)
+	case KindEnquiryReply:
+		return fmt.Sprintf("enquiry-reply(%v seq=%d) %v->%v", m.Status, m.Seq, m.From, m.To)
+	case KindTest:
+		return fmt.Sprintf("test(d=%d) %v->%v", m.Phase, m.From, m.To)
+	case KindTestReply:
+		return fmt.Sprintf("test-reply(%v d=%d) %v->%v", m.Reply, m.Phase, m.From, m.To)
+	case KindAnomaly:
+		return fmt.Sprintf("anomaly %v->%v", m.From, m.To)
+	default:
+		return fmt.Sprintf("%v %v->%v", m.Kind, m.From, m.To)
+	}
+}
+
+func regenMark(regen bool) string {
+	if regen {
+		return "*"
+	}
+	return ""
+}

@@ -1,0 +1,567 @@
+// Package core implements the open-cube distributed mutual exclusion
+// algorithm of Hélary & Mostefaoui (INRIA RR-2041, 1993) as a pure,
+// deterministic state machine: inputs are messages, local calls and timer
+// fires; outputs are Effects (sends, grants, timer arms). The package has
+// no goroutines and no wall clock, so the same node code runs under the
+// discrete-event simulator (internal/sim) and the live goroutine runtime
+// (internal/cluster).
+//
+// Sections 3.3 (the failure-free algorithm) and 5 (failure handling) of
+// the paper are implemented in node.go and failure.go respectively; the
+// transit/proxy decision of the general scheme is delegated to a Policy
+// (policy.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ocube"
+)
+
+// Config parameterizes a node. Self, P and Delta are required.
+type Config struct {
+	// Self is this node's position in the canonical open-cube labeling.
+	Self ocube.Pos
+	// P is the cube order pmax; the system has N = 2^P positions.
+	P int
+	// Policy chooses transit/proxy behavior; nil means OpenCubePolicy.
+	Policy Policy
+	// FT enables the failure handling of Section 5 (timers, enquiry,
+	// search_father, anomaly detection). With FT off, a failure-free run
+	// arms no timers at all.
+	FT bool
+	// Delta is δ, the maximum message transmission delay the communication
+	// system guarantees between correct nodes (required when FT is on).
+	Delta time.Duration
+	// CSEstimate is e, the estimated critical-section duration, used in
+	// the root's token-return timeouts.
+	CSEstimate time.Duration
+	// SuspicionSlack is added to every failure timeout. The paper requires
+	// suspicion delays to be "at least" the stated bounds; the slack
+	// absorbs queueing behind other requests so that suspicion implies a
+	// genuine failure with high probability.
+	SuspicionSlack time.Duration
+	// DisableTieBreak removes the identity ordering that makes concurrent
+	// searches converge on a single root (the junior→senior adoption rule
+	// generalizing the paper's equal-phase tie-break). Ablation A1:
+	// unsafe — concurrent searchers can form father cycles or regenerate
+	// two tokens, the paper's "inconsistency" example.
+	DisableTieBreak bool
+	// DisableEarlyAdopt removes the d_i < d_j early-adoption optimization
+	// for concurrent searches (ablation A2).
+	DisableEarlyAdopt bool
+	// DisableConfirmSweep makes an exhausted search regenerate the token
+	// immediately, as the paper specifies, instead of requiring two
+	// consecutive failed full sweeps (ablation A5). Cheaper per root
+	// failure but racy: a token moving behind the single sweep can be
+	// duplicated.
+	DisableConfirmSweep bool
+}
+
+func (c Config) validate() error {
+	if c.P < 0 || c.P > ocube.MaxP {
+		return fmt.Errorf("core: cube order P=%d out of range", c.P)
+	}
+	if !c.Self.Valid(1 << c.P) {
+		return fmt.Errorf("core: self %v out of range for P=%d", c.Self, c.P)
+	}
+	if c.FT && c.Delta <= 0 {
+		return errors.New("core: FT requires a positive Delta")
+	}
+	return nil
+}
+
+// seqStride partitions the sequence space: a request keeps one block of
+// seqStride numbers, the base assigned when the source first issues it and
+// the low bits incremented each time failure recovery re-issues it. Two
+// sequences denote the same logical request iff they share a block, and
+// within and across blocks later numbers supersede earlier ones, which is
+// what the duplicate-discard comparison relies on.
+const seqStride = 1 << 20
+
+// sameRequest reports whether two sequence numbers identify the same
+// logical request (possibly re-issued by failure recovery).
+func sameRequest(a, b uint64) bool { return a/seqStride == b/seqStride }
+
+// queued is a deferred work item: either a local wish to enter the
+// critical section or a received request message, waiting for the node to
+// stop asking (the paper's per-node waiting queue with FIFO service).
+type queued struct {
+	local bool
+	msg   Message
+}
+
+// Node is the per-node protocol state machine. All methods must be called
+// from a single goroutine; they return the effects the driver must
+// execute, in order.
+type Node struct {
+	cfg    Config
+	policy Policy
+
+	// Section 3.1 local state.
+	father    ocube.Pos
+	tokenHere bool
+	asking    bool
+	inCS      bool
+	mandator  ocube.Pos // None when no mandate is pending
+	lender    ocube.Pos // meaningful only while in the critical section
+	queue     []queued
+	wantCS    bool // a local enter_cs is queued, pending, or executing
+
+	// Request bookkeeping (Section 5 extensions).
+	seq       uint64    // own request sequence (survives recovery: stable storage)
+	curSource ocube.Pos // source of the request currently mandated
+	curSeq    uint64    // sequence of the request currently mandated
+	csSeq     uint64    // sequence of the request being served in CS
+	seen      map[ocube.Pos]uint64
+
+	// Root loan bookkeeping for the return timeout and enquiry.
+	loanSource  ocube.Pos
+	loanTarget  ocube.Pos
+	loanSeq     uint64
+	returnGrace bool // the source answered "token returned"; grace running
+	granted     map[ocube.Pos]uint64
+
+	// Unlent-transfer guardianship: set while an outright token transfer
+	// or loan return awaits its acknowledgment (FT only).
+	xferTo      ocube.Pos
+	xferSource  ocube.Pos // source marked granted at send, for rollback
+	xferSeq     uint64
+	xferPending bool
+
+	// Failure machinery (failure.go).
+	search searchState
+	gens   [numTimerKinds + 1]uint64
+
+	effects []Effect
+}
+
+// NewNode constructs a node in the pristine open-cube configuration: the
+// father relation is the initial one, and position 0 holds the token.
+func NewNode(cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = OpenCubePolicy{}
+	}
+	return &Node{
+		cfg:        cfg,
+		policy:     pol,
+		father:     ocube.InitialFather(cfg.Self),
+		tokenHere:  cfg.Self == 0,
+		mandator:   ocube.None,
+		lender:     ocube.None,
+		curSource:  ocube.None,
+		loanSource: ocube.None,
+		loanTarget: ocube.None,
+		seen:       make(map[ocube.Pos]uint64),
+		granted:    make(map[ocube.Pos]uint64),
+	}, nil
+}
+
+// --- introspection (used by drivers, invariant checkers and tests) ---
+
+// Self returns the node's position.
+func (n *Node) Self() ocube.Pos { return n.cfg.Self }
+
+// Father returns the current father pointer (None for a root).
+func (n *Node) Father() ocube.Pos { return n.father }
+
+// TokenHere reports whether the node currently holds the token.
+func (n *Node) TokenHere() bool { return n.tokenHere }
+
+// Asking reports the paper's asking flag: the node is waiting for the
+// token or executing the critical section (or awaiting a loan's return).
+func (n *Node) Asking() bool { return n.asking }
+
+// InCS reports whether the node is executing its critical section.
+func (n *Node) InCS() bool { return n.inCS }
+
+// Mandator returns the pending mandate (None if none).
+func (n *Node) Mandator() ocube.Pos { return n.mandator }
+
+// QueueLen returns the number of deferred work items.
+func (n *Node) QueueLen() int { return len(n.queue) }
+
+// Searching reports whether a search_father procedure is in progress.
+func (n *Node) Searching() bool { return n.search.active }
+
+// Power returns the node's current power (Proposition 2.1), or the
+// in-search evaluation phase-1 while searching (Section 5).
+func (n *Node) Power() int {
+	if n.search.active {
+		return n.search.phase - 1
+	}
+	return n.view().Power()
+}
+
+// Policy returns the node's scheme policy.
+func (n *Node) Policy() Policy { return n.policy }
+
+func (n *Node) view() View {
+	return View{Self: n.cfg.Self, Father: n.father, TokenHere: n.tokenHere, Pmax: n.cfg.P}
+}
+
+// --- effect plumbing ---
+
+func (n *Node) emit(e Effect) { n.effects = append(n.effects, e) }
+
+func (n *Node) take() []Effect {
+	out := n.effects
+	n.effects = nil
+	return out
+}
+
+func (n *Node) send(m Message) {
+	m.From = n.cfg.Self
+	n.emit(Send{Msg: m})
+}
+
+// armTimer bumps the generation for kind and schedules a fire.
+func (n *Node) armTimer(kind TimerKind, delay time.Duration) {
+	n.gens[kind]++
+	n.emit(StartTimer{Kind: kind, Gen: n.gens[kind], Delay: delay})
+}
+
+// cancelTimer invalidates any outstanding fire of kind.
+func (n *Node) cancelTimer(kind TimerKind) { n.gens[kind]++ }
+
+// HandleTimer delivers a timer fire. Stale generations are ignored.
+func (n *Node) HandleTimer(kind TimerKind, gen uint64) []Effect {
+	if gen != n.gens[kind] {
+		return nil
+	}
+	switch kind {
+	case TimerSuspicion:
+		n.onSuspicion()
+	case TimerTokenReturn:
+		n.onReturnOverdue()
+	case TimerEnquiry:
+		n.onEnquiryTimeout()
+	case TimerSearchRound:
+		n.onSearchRound()
+	case TimerTransferAck:
+		n.onTransferTimeout()
+	}
+	return n.take()
+}
+
+// --- local events (Section 3.3: enter_cs / exit_cs) ---
+
+// ErrBusy is returned by RequestCS while a previous request is pending or
+// the node is in its critical section.
+var ErrBusy = errors.New("core: critical-section request already pending")
+
+// RequestCS registers the local wish to enter the critical section. The
+// grant is signalled by a Grant effect (possibly within the returned
+// slice, if the node already holds the idle token).
+func (n *Node) RequestCS() ([]Effect, error) {
+	if n.wantCS {
+		return nil, ErrBusy
+	}
+	n.wantCS = true
+	n.queue = append(n.queue, queued{local: true})
+	n.drain()
+	return n.take(), nil
+}
+
+// ErrNotInCS is returned by ReleaseCS when the node is not in its critical
+// section.
+var ErrNotInCS = errors.New("core: not in critical section")
+
+// ReleaseCS ends the critical section: the token is given back to the
+// lender, or kept if this node is the lender (the root).
+func (n *Node) ReleaseCS() ([]Effect, error) {
+	if !n.inCS {
+		return nil, ErrNotInCS
+	}
+	n.inCS = false
+	n.wantCS = false
+	if n.lender != n.cfg.Self {
+		n.send(Message{Kind: KindToken, To: n.lender, Lender: ocube.None,
+			Source: n.cfg.Self, Seq: n.csSeq})
+		n.tokenHere = false
+		n.guardTransfer(n.lender, n.csSeq, ocube.None)
+	}
+	n.lender = ocube.None
+	n.asking = false
+	n.drain()
+	return n.take(), nil
+}
+
+// --- queue service ---
+
+// drain processes deferred work FIFO while the node is not busy
+// (the paper's wait(not asking) precondition; a search_father in progress
+// also holds the queue because the father pointer is unresolved).
+func (n *Node) drain() {
+	for !n.asking && !n.search.active && len(n.queue) > 0 {
+		item := n.queue[0]
+		n.queue = n.queue[1:]
+		if item.local {
+			n.processEnterCS()
+		} else {
+			n.processRequest(item.msg)
+		}
+	}
+}
+
+// processEnterCS is the body of the paper's enter_cs action, reached once
+// the node is no longer busy.
+func (n *Node) processEnterCS() {
+	n.asking = true
+	if n.tokenHere {
+		// Already the root holding the idle token: enter directly. The
+		// paper's pseudocode leaves lender untouched here; it must be self
+		// so that exit_cs keeps the token (DESIGN.md note 1).
+		n.seq += seqStride
+		n.csSeq = n.seq
+		n.lender = n.cfg.Self
+		n.inCS = true
+		n.emit(Grant{Lender: n.cfg.Self})
+		return
+	}
+	n.seq += seqStride
+	n.mandator = n.cfg.Self
+	n.curSource = n.cfg.Self
+	n.curSeq = n.seq
+	n.send(Message{Kind: KindRequest, To: n.father,
+		Target: n.cfg.Self, Source: n.cfg.Self, Seq: n.seq})
+	n.armSuspicion()
+}
+
+// processRequest is the body of the paper's "receipt of request(j)"
+// action, reached once the node is no longer busy.
+func (n *Node) processRequest(m Message) {
+	if m.Target == n.cfg.Self {
+		// Cannot happen in correct runs (a request never revisits its own
+		// target); guard against pathological reconfigurations.
+		n.emit(Dropped{Msg: m, Reason: "request targets self"})
+		return
+	}
+	if last, ok := n.seen[m.Source]; ok && m.Seq < last {
+		// A newer re-issue of this request arrived while this copy sat in
+		// the queue; serving both would hand out the token twice.
+		n.emit(Dropped{Msg: m, Reason: "stale sequence at dequeue"})
+		return
+	}
+	if g, ok := n.granted[m.Source]; ok && sameRequest(g, m.Seq) {
+		// We already lent the token for this logical request and the loan
+		// completed; this copy is a failure-recovery duplicate whose
+		// service would send the token to a node that no longer asks.
+		// Tell the target so a zombie mandate stops re-issuing it.
+		n.emit(Dropped{Msg: m, Reason: "request already granted"})
+		n.send(Message{Kind: KindObsolete, To: m.Target, Source: m.Source, Seq: m.Seq})
+		return
+	}
+	switch n.policy.Decide(n.view(), m.Target) {
+	case BehaviorAnomaly:
+		// Section 5: power(self) < dist(self, target) is impossible in an
+		// open-cube; the target's father relation is stale (we recovered
+		// since it adopted us). Tell it to search a new father.
+		n.send(Message{Kind: KindAnomaly, To: m.Target})
+	case BehaviorTransit:
+		if n.tokenHere {
+			// Give up the token outright: the requester becomes the root.
+			n.send(Message{Kind: KindToken, To: m.Target, Lender: ocube.None,
+				Source: m.Source, Seq: m.Seq})
+			n.tokenHere = false
+			if m.Target == m.Source {
+				// Only a transfer straight to the source proves its grant;
+				// handing the token to a proxy does not (the onward lend
+				// can still fail), so marking then would wrongly discard
+				// the source's recovery re-issues.
+				n.granted[m.Source] = m.Seq
+				n.guardTransfer(m.Target, m.Seq, m.Source)
+			} else {
+				n.guardTransfer(m.Target, m.Seq, ocube.None)
+			}
+		} else {
+			fwd := m
+			fwd.To = n.father
+			n.send(fwd)
+		}
+		// First half of a b-transformation.
+		n.father = m.Target
+	case BehaviorProxy:
+		n.asking = true
+		if n.tokenHere {
+			// Temporarily lend the token; it must come back here.
+			n.send(Message{Kind: KindToken, To: m.Target, Lender: n.cfg.Self,
+				Source: m.Source, Seq: m.Seq})
+			n.tokenHere = false
+			n.beginLoan(m.Target, m.Source, m.Seq)
+		} else {
+			n.mandator = m.Target
+			n.curSource = m.Source
+			n.curSeq = m.Seq
+			n.send(Message{Kind: KindRequest, To: n.father,
+				Target: n.cfg.Self, Source: m.Source, Seq: m.Seq, Regen: false})
+			n.armSuspicion()
+		}
+	}
+}
+
+// --- message dispatch ---
+
+// HandleMessage delivers one protocol message.
+func (n *Node) HandleMessage(m Message) []Effect {
+	switch m.Kind {
+	case KindRequest:
+		n.onRequest(m)
+	case KindToken:
+		n.onToken(m)
+	case KindEnquiry:
+		n.onEnquiry(m)
+	case KindEnquiryReply:
+		n.onEnquiryReply(m)
+	case KindTest:
+		n.onTest(m)
+	case KindTestReply:
+		n.onTestReply(m)
+	case KindAnomaly:
+		n.onAnomaly(m)
+	case KindTokenAck:
+		n.onTokenAck(m)
+	case KindObsolete:
+		n.onObsolete(m)
+	default:
+		n.emit(Dropped{Msg: m, Reason: "unknown kind"})
+	}
+	return n.take()
+}
+
+// onRequest queues or processes a request, discarding stale re-issues.
+func (n *Node) onRequest(m Message) {
+	if last, ok := n.seen[m.Source]; ok && m.Seq < last {
+		n.emit(Dropped{Msg: m, Reason: "stale sequence"})
+		return
+	}
+	n.seen[m.Source] = m.Seq
+	// A re-issue of a request already queued here supersedes the queued
+	// copy in place, so recovery storms cannot bloat the queue.
+	for i := range n.queue {
+		if q := &n.queue[i]; !q.local && q.msg.Source == m.Source {
+			q.msg = m
+			n.drain()
+			return
+		}
+	}
+	n.queue = append(n.queue, queued{msg: m})
+	n.drain()
+}
+
+// onObsolete abandons a mandate whose request was granted elsewhere (a
+// duplicate of it was served): stop re-issuing and resume queue service.
+// The source itself recovers through its own machinery if the grant
+// later turns out to have failed.
+func (n *Node) onObsolete(m Message) {
+	if n.mandator == ocube.None || n.curSource != m.Source || !sameRequest(n.curSeq, m.Seq) {
+		return
+	}
+	if n.mandator == n.cfg.Self {
+		// Our own claim cannot be obsolete from our perspective: we have
+		// not been granted. Ignore; if the claim was truly served through
+		// a duplicate, the token grant reaches us, and otherwise our
+		// suspicion machinery re-issues with a fresh sequence.
+		return
+	}
+	if n.search.active {
+		n.endSearch()
+	}
+	n.cancelTimer(TimerSuspicion)
+	n.mandator = ocube.None
+	n.curSource = ocube.None
+	n.asking = false
+	n.drain()
+}
+
+// onToken is the paper's "receipt of token(j) from k" action. Token
+// receipt is never delayed by the asking flag.
+func (n *Node) onToken(m Message) {
+	if m.Lender == ocube.None && n.cfg.FT {
+		// Unlent tokens are guarded by their sender until acknowledged.
+		n.send(Message{Kind: KindTokenAck, To: m.From, Seq: m.Seq})
+	}
+	if n.mandator == ocube.None && !n.asking {
+		// Not waiting for a grant nor for a loan's return: the token
+		// serves a stale request (a failure-recovery duplicate). A LENT
+		// token has a guardian — the lender's return watchdog will detect
+		// the loss and regenerate — so dropping it is safe. An UNLENT
+		// token is an ownership transfer with no guardian: adopt it and
+		// become the root (the sender has already pointed its father at
+		// us), keeping the token unique and the system live.
+		if m.Lender != ocube.None {
+			n.emit(Dropped{Msg: m, Reason: "unexpected lent token"})
+			return
+		}
+		n.tokenHere = true
+		n.father = ocube.None
+		n.emit(BecameRoot{Reason: "adopted stray unlent token"})
+		n.drain()
+		return
+	}
+	if n.search.active {
+		// The original request was served after all; abandon the search.
+		n.endSearch()
+	}
+	n.tokenHere = true
+	switch {
+	case n.mandator == ocube.None:
+		// Return of the token after a loan.
+		n.cancelTimer(TimerTokenReturn)
+		n.cancelTimer(TimerEnquiry)
+		if n.loanSource != ocube.None {
+			n.granted[n.loanSource] = n.loanSeq
+		}
+		n.loanSource, n.loanTarget = ocube.None, ocube.None
+		n.returnGrace = false
+		n.asking = false
+		n.drain()
+	case n.mandator == n.cfg.Self:
+		// Our own claim is satisfied.
+		n.cancelTimer(TimerSuspicion)
+		if m.Lender == ocube.None {
+			n.lender = n.cfg.Self
+			n.father = ocube.None
+			n.emit(BecameRoot{Reason: "received unlent token"})
+		} else {
+			n.lender = m.Lender
+			n.father = m.From
+		}
+		n.csSeq = n.curSeq
+		n.mandator = ocube.None
+		n.curSource = ocube.None
+		n.inCS = true
+		n.emit(Grant{Lender: n.lender})
+		// asking remains true until ReleaseCS.
+	default:
+		// Honor the mandator's request.
+		n.cancelTimer(TimerSuspicion)
+		if m.Lender == ocube.None {
+			// The token has no lender: become the root and lend it.
+			n.father = ocube.None
+			n.emit(BecameRoot{Reason: "received unlent token as proxy"})
+			n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
+				Source: n.curSource, Seq: n.curSeq})
+			n.tokenHere = false
+			n.beginLoan(n.mandator, n.curSource, n.curSeq)
+			n.mandator = ocube.None
+			n.curSource = ocube.None
+			// asking remains true until the token returns.
+		} else {
+			n.father = m.From
+			n.send(Message{Kind: KindToken, To: n.mandator, Lender: m.Lender,
+				Source: n.curSource, Seq: n.curSeq})
+			n.tokenHere = false
+			n.mandator = ocube.None
+			n.curSource = ocube.None
+			n.asking = false
+			n.drain()
+		}
+	}
+}

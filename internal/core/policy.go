@@ -1,0 +1,120 @@
+package core
+
+import "repro/internal/ocube"
+
+// Behavior is a node's reaction to a request message, following the
+// general token- and tree-based scheme of Hélary, Mostefaoui & Raynal
+// (the paper's reference [1]).
+type Behavior uint8
+
+const (
+	// BehaviorTransit forwards the request (or gives up the token) and
+	// adopts the request target as the new father — the first half of a
+	// b-transformation.
+	BehaviorTransit Behavior = iota + 1
+	// BehaviorProxy re-requests the token on the target's behalf (or lends
+	// it), leaving the tree unchanged until the token arrives.
+	BehaviorProxy
+	// BehaviorAnomaly rejects the request because the node's structural
+	// position cannot serve it (power < distance to target); only the
+	// open-cube policy produces it, after node recoveries (Section 5).
+	BehaviorAnomaly
+)
+
+// String names the behavior.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorTransit:
+		return "transit"
+	case BehaviorProxy:
+		return "proxy"
+	case BehaviorAnomaly:
+		return "anomaly"
+	default:
+		return "behavior(?)"
+	}
+}
+
+// View is the read-only node state a Policy may consult.
+type View struct {
+	Self      ocube.Pos
+	Father    ocube.Pos // None if root
+	TokenHere bool
+	Pmax      int
+}
+
+// Power derives the node's power from its father pointer
+// (Proposition 2.1), pmax for a root.
+func (v View) Power() int {
+	if v.Father == ocube.None {
+		return v.Pmax
+	}
+	return ocube.Dist(v.Self, v.Father) - 1
+}
+
+// Policy chooses the behavior for each processed request, instantiating
+// the general scheme. The paper's Section 3 names three instances:
+// open-cube (this paper), Raymond (transit ⇔ token here) and Naimi-Trehel
+// (always transit).
+type Policy interface {
+	// Decide returns the behavior for a request whose token recipient
+	// would be target.
+	Decide(v View, target ocube.Pos) Behavior
+	// Name identifies the policy in traces and experiment output.
+	Name() string
+}
+
+// OpenCubePolicy is the paper's rule: transit if and only if the request
+// reached the node through its last son, which by Section 3.1 reduces to
+// dist(self, target) = power(self). A distance exceeding the power is
+// structurally impossible in a valid open-cube and flags an anomaly.
+type OpenCubePolicy struct{}
+
+// Decide implements Policy.
+func (OpenCubePolicy) Decide(v View, target ocube.Pos) Behavior {
+	d, p := ocube.Dist(v.Self, target), v.Power()
+	switch {
+	case d > p:
+		return BehaviorAnomaly
+	case d == p:
+		return BehaviorTransit
+	default:
+		return BehaviorProxy
+	}
+}
+
+// Name implements Policy.
+func (OpenCubePolicy) Name() string { return "open-cube" }
+
+// RaymondPolicy is the scheme instance the paper attributes to Raymond's
+// algorithm: transit exactly when the node holds the token, so the tree
+// never changes shape, only edge directions.
+type RaymondPolicy struct{}
+
+// Decide implements Policy.
+func (RaymondPolicy) Decide(v View, _ ocube.Pos) Behavior {
+	if v.TokenHere {
+		return BehaviorTransit
+	}
+	return BehaviorProxy
+}
+
+// Name implements Policy.
+func (RaymondPolicy) Name() string { return "scheme-raymond" }
+
+// NaimiTrehelPolicy is the scheme instance the paper attributes to
+// Naimi-Trehel's algorithm: every node is permanently transit, so the tree
+// can reach any configuration (worst case O(n) per request).
+type NaimiTrehelPolicy struct{}
+
+// Decide implements Policy.
+func (NaimiTrehelPolicy) Decide(View, ocube.Pos) Behavior { return BehaviorTransit }
+
+// Name implements Policy.
+func (NaimiTrehelPolicy) Name() string { return "scheme-naimi-trehel" }
+
+var (
+	_ Policy = OpenCubePolicy{}
+	_ Policy = RaymondPolicy{}
+	_ Policy = NaimiTrehelPolicy{}
+)

@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/ocube"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// E1Row is one line of the worst-case experiment (paper Section 4: worst
+// case messages per request).
+type E1Row struct {
+	N            int
+	MaxMeasured  int64 // worst request cost found (pristine + evolved trees)
+	PaperBound   int   // log2(N)+1, the paper's claim
+	StrictBound  int   // log2(N)+2, the pseudocode's true worst case
+	ProbedConfig int   // number of (configuration, requester) pairs probed
+}
+
+// E1WorstCase measures the worst per-request message cost for each cube
+// order: every requester on the pristine cube, plus sequential probes on
+// randomly evolved (but always valid) open-cubes.
+func E1WorstCase(ps []int, probesPerP int, seed int64) ([]E1Row, error) {
+	rows := make([]E1Row, 0, len(ps))
+	for _, p := range ps {
+		n := 1 << p
+		row := E1Row{N: n, PaperBound: ocube.WorstCaseMessages(n),
+			StrictBound: ocube.WorstCaseMessages(n) + 1}
+		// Every requester from the pristine configuration.
+		for i := 0; i < n; i++ {
+			c, err := singleRequestCost(p, ocube.Pos(i))
+			if err != nil {
+				return nil, err
+			}
+			row.ProbedConfig++
+			if c > row.MaxMeasured {
+				row.MaxMeasured = c
+			}
+		}
+		// Sequential probes on evolving trees.
+		rng := rand.New(rand.NewSource(seed + int64(p)))
+		rec := &trace.Recorder{}
+		w, err := newNetwork(p, seed, rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < probesPerP; i++ {
+			before := rec.Total()
+			w.RequestCS(ocube.Pos(rng.Intn(n)), 0)
+			if !w.RunUntilQuiescent(time.Hour) {
+				return nil, fmt.Errorf("harness: e1 probe did not quiesce")
+			}
+			row.ProbedConfig++
+			if c := rec.Total() - before; c > row.MaxMeasured {
+				row.MaxMeasured = c
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatE1 renders the E1 table.
+func FormatE1(rows []E1Row) string {
+	header := []string{"N", "max msgs/request", "paper log2N+1", "strict log2N+2", "probes"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			strconv.Itoa(r.N),
+			strconv.FormatInt(r.MaxMeasured, 10),
+			strconv.Itoa(r.PaperBound),
+			strconv.Itoa(r.StrictBound),
+			strconv.Itoa(r.ProbedConfig),
+		}
+	}
+	return "E1 — worst-case messages per request (sequential)\n" + table(header, body)
+}
+
+// E2Row is one line of the average-complexity experiment (paper Section
+// 4: c̄ = αp/2^p ≈ 3/4·log2 N + 5/4).
+type E2Row struct {
+	N           int
+	Measured    float64 // mean c(i) over all pristine-cube requesters
+	AlphaExact  float64 // αp / 2^p
+	Approx      float64 // 3/4·log2 N + 5/4
+	SteadyState float64 // mean msgs/grant under a random steady workload
+}
+
+// E2Average measures the exact per-node average on pristine cubes (the
+// paper's analytical setting) and a steady-state average under
+// concurrent random load.
+func E2Average(ps []int, seed int64) ([]E2Row, error) {
+	rows := make([]E2Row, 0, len(ps))
+	for _, p := range ps {
+		n := 1 << p
+		var total int64
+		for i := 0; i < n; i++ {
+			c, err := singleRequestCost(p, ocube.Pos(i))
+			if err != nil {
+				return nil, err
+			}
+			total += c
+		}
+		row := E2Row{
+			N:          n,
+			Measured:   float64(total) / float64(n),
+			AlphaExact: ocube.AverageMessages(p),
+			Approx:     ocube.AverageApprox(n),
+		}
+		steady, err := steadyStateAverage(p, seed)
+		if err != nil {
+			return nil, err
+		}
+		row.SteadyState = steady
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// steadyStateAverage runs a concurrent random workload and returns mean
+// messages per grant.
+func steadyStateAverage(p int, seed int64) (float64, error) {
+	n := 1 << p
+	rec := &trace.Recorder{}
+	rng := rand.New(rand.NewSource(seed))
+	w, err := sim.New(sim.Config{
+		P:        p,
+		Seed:     seed,
+		Delay:    sim.UniformDelay(delta/2, delta),
+		Recorder: rec,
+		CSTime:   csTime(2 * delta),
+	})
+	if err != nil {
+		return 0, err
+	}
+	count := 8 * n
+	for i := 0; i < count; i++ {
+		w.RequestCS(ocube.Pos(rng.Intn(n)),
+			time.Duration(rng.Int63n(int64(time.Duration(count)*delta))))
+	}
+	if !w.RunUntilQuiescent(24 * time.Hour) {
+		return 0, fmt.Errorf("harness: steady-state workload did not quiesce")
+	}
+	if w.Grants() == 0 {
+		return 0, fmt.Errorf("harness: steady-state workload had no grants")
+	}
+	return float64(rec.Total()) / float64(w.Grants()), nil
+}
+
+// FormatE2 renders the E2 table.
+func FormatE2(rows []E2Row) string {
+	header := []string{"N", "measured avg", "exact αp/2^p", "approx ¾log2N+5/4", "steady-state avg"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			strconv.Itoa(r.N),
+			fmt.Sprintf("%.4f", r.Measured),
+			fmt.Sprintf("%.4f", r.AlphaExact),
+			fmt.Sprintf("%.4f", r.Approx),
+			fmt.Sprintf("%.4f", r.SteadyState),
+		}
+	}
+	return "E2 — average messages per request\n" + table(header, body)
+}

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mutexsim"
+	"repro/internal/naimitrehel"
+	"repro/internal/raymond"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Workload shapes for E5.
+const (
+	// LoadSpread issues requests spread widely in time (low contention).
+	LoadSpread = "spread"
+	// LoadBurst issues all requests nearly at once (high contention);
+	// Naimi-Trehel's forwarding chains grow with the number of in-flight
+	// requests here, exposing its O(n) worst case.
+	LoadBurst = "burst"
+	// LoadHotspot concentrates most requests on a few nodes, the
+	// adaptivity scenario that motivates dynamic trees.
+	LoadHotspot = "hotspot"
+)
+
+// Algorithms compared by E5.
+var E5Algorithms = []string{
+	"open-cube",
+	"scheme-raymond",
+	"scheme-naimi-trehel",
+	"classic-raymond",
+	"classic-naimi-trehel",
+}
+
+// E5Row is one (algorithm, N, workload) measurement.
+type E5Row struct {
+	Algorithm  string
+	N          int
+	Load       string
+	Grants     int64
+	MsgsPerCS  float64
+	Violations int64
+}
+
+// E5Comparison runs the same seeded schedule through the open-cube
+// algorithm, the two general-scheme instances and the two classic
+// baselines, and reports mean messages per critical section.
+func E5Comparison(ps []int, loads []string, seed int64) ([]E5Row, error) {
+	var rows []E5Row
+	for _, p := range ps {
+		n := 1 << p
+		for _, load := range loads {
+			reqs := scheduleFor(load, n, seed)
+			for _, algo := range E5Algorithms {
+				row, err := runE5(algo, p, load, reqs, seed)
+				if err != nil {
+					return nil, fmt.Errorf("harness: e5 %s N=%d %s: %w", algo, n, load, err)
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+func scheduleFor(load string, n int, seed int64) []workload.Request {
+	rng := rand.New(rand.NewSource(seed))
+	count := 6 * n
+	switch load {
+	case LoadBurst:
+		return workload.Uniform(rng, n, count, 4*delta)
+	case LoadHotspot:
+		return workload.Hotspot(rng, n, count, time.Duration(count)*delta, max(1, n/8), 0.8)
+	default: // LoadSpread
+		return workload.Uniform(rng, n, count, time.Duration(2*count)*delta)
+	}
+}
+
+func runE5(algo string, p int, load string, reqs []workload.Request, seed int64) (E5Row, error) {
+	n := 1 << p
+	row := E5Row{Algorithm: algo, N: n, Load: load}
+	rec := &trace.Recorder{}
+	switch algo {
+	case "open-cube", "scheme-raymond", "scheme-naimi-trehel":
+		var pol core.Policy
+		switch algo {
+		case "scheme-raymond":
+			pol = core.RaymondPolicy{}
+		case "scheme-naimi-trehel":
+			pol = core.NaimiTrehelPolicy{}
+		}
+		w, err := sim.New(sim.Config{
+			P:        p,
+			Seed:     seed,
+			Delay:    sim.UniformDelay(delta/2, delta),
+			Recorder: rec,
+			Node:     core.Config{Policy: pol},
+			CSTime:   csTime(delta),
+		})
+		if err != nil {
+			return row, err
+		}
+		if err := runSchedule(w, reqs); err != nil {
+			return row, err
+		}
+		row.Grants = w.Grants()
+		row.Violations = w.Violations()
+	case "classic-raymond":
+		nodes, err := raymond.NewSystem(p)
+		if err != nil {
+			return row, err
+		}
+		d, err := newBaselineDriver(raymond.Peers(nodes), seed, rec)
+		if err != nil {
+			return row, err
+		}
+		if err := runBaselineSchedule(d, reqs); err != nil {
+			return row, err
+		}
+		row.Grants = d.Grants()
+		row.Violations = d.Violations()
+	case "classic-naimi-trehel":
+		nodes, err := naimitrehel.NewSystem(n)
+		if err != nil {
+			return row, err
+		}
+		d, err := newBaselineDriver(naimitrehel.Peers(nodes), seed, rec)
+		if err != nil {
+			return row, err
+		}
+		if err := runBaselineSchedule(d, reqs); err != nil {
+			return row, err
+		}
+		row.Grants = d.Grants()
+		row.Violations = d.Violations()
+	default:
+		return row, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if row.Grants > 0 {
+		row.MsgsPerCS = float64(rec.Total()) / float64(row.Grants)
+	}
+	return row, nil
+}
+
+func newBaselineDriver(peers []mutexsim.Peer, seed int64, rec *trace.Recorder) (*mutexsim.Driver, error) {
+	return mutexsim.New(mutexsim.Config{
+		Peers:    peers,
+		Seed:     seed,
+		MinDelay: delta / 2,
+		MaxDelay: delta,
+		Recorder: rec,
+		CSTime:   csTime(delta),
+	})
+}
+
+func runBaselineSchedule(d *mutexsim.Driver, reqs []workload.Request) error {
+	for _, r := range reqs {
+		d.RequestCS(r.Node, r.At)
+	}
+	if !d.RunUntilQuiescent(24 * time.Hour) {
+		return fmt.Errorf("baseline schedule did not quiesce")
+	}
+	return nil
+}
+
+// FormatE5 renders the comparison grouped by workload and N.
+func FormatE5(rows []E5Row) string {
+	header := []string{"load", "N", "algorithm", "grants", "msgs/CS", "violations"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		body[i] = []string{
+			r.Load,
+			strconv.Itoa(r.N),
+			r.Algorithm,
+			strconv.FormatInt(r.Grants, 10),
+			fmt.Sprintf("%.3f", r.MsgsPerCS),
+			strconv.FormatInt(r.Violations, 10),
+		}
+	}
+	return "E5 — algorithm comparison (mean messages per critical section)\n" +
+		table(header, body)
+}

@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/mutexsim"
+	"repro/internal/ocube"
+	"repro/internal/raymond"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// E6Row quantifies the paper's workload-adaptivity claim (Section 6:
+// "adaptativity of each node workload according to the frequency of
+// requests to enter the critical section"). The hot set is placed
+// adversarially for a static tree: the deepest leaf of every major
+// subtree, pairwise far apart, so a static structure pays the tree
+// diameter on every hot-to-hot handoff while the open-cube restructures
+// to bring the frequent requesters near the root.
+type E6Row struct {
+	Algorithm   string
+	N           int
+	MsgsPerCS   float64 // total messages per critical section
+	HotMsgsPer  float64 // per-source mean for hot nodes (open-cube only)
+	ColdMsgsPer float64 // per-source mean for cold nodes (open-cube only)
+}
+
+// hotSet returns the deepest leaf of each major subtree: positions
+// 2^(j+1)-1, which are power-0 leaves at pairwise distance ≥ j+1.
+func hotSet(p int) []int {
+	var out []int
+	for j := p - 1; j >= 1 && len(out) < 4; j-- {
+		out = append(out, 1<<(j+1)-1)
+	}
+	return out
+}
+
+// E6Adaptivity runs the adversarial hotspot workload (80% of requests
+// from the spread hot set) through the open-cube algorithm and classic
+// Raymond on the identical schedule.
+func E6Adaptivity(ps []int, seed int64) ([]E6Row, error) {
+	var rows []E6Row
+	for _, p := range ps {
+		n := 1 << p
+		hot := hotSet(p)
+		rng := newRng(seed)
+		count := 20 * n
+		reqs := workload.HotspotSet(rng, n, count, time.Duration(2*count)*delta, hot, 0.8)
+
+		oc, err := e6OpenCube(p, hot, reqs, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, oc)
+
+		ray, err := e6Raymond(p, reqs, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ray)
+	}
+	return rows, nil
+}
+
+func e6OpenCube(p int, hot []int, reqs []workload.Request, seed int64) (E6Row, error) {
+	n := 1 << p
+	row := E6Row{Algorithm: "open-cube", N: n}
+	rec := &trace.Recorder{}
+	w, err := sim.New(sim.Config{
+		P: p, Seed: seed,
+		Delay:    sim.UniformDelay(delta/2, delta),
+		Recorder: rec,
+		CSTime:   csTime(delta),
+	})
+	if err != nil {
+		return row, err
+	}
+	grants := make([]int64, n)
+	w.OnGrant(func(node ocube.Pos) { grants[node]++ })
+	if err := runSchedule(w, reqs); err != nil {
+		return row, err
+	}
+	if w.Grants() == 0 {
+		return row, fmt.Errorf("harness: e6 open-cube had no grants")
+	}
+	row.MsgsPerCS = float64(rec.Total()) / float64(w.Grants())
+
+	isHot := map[int]bool{}
+	for _, h := range hot {
+		isHot[h] = true
+	}
+	hotStat, coldStat := &metrics.Summary{}, &metrics.Summary{}
+	for i := 0; i < n; i++ {
+		if grants[i] == 0 {
+			continue
+		}
+		v := float64(rec.Source(i)) / float64(grants[i])
+		if isHot[i] {
+			hotStat.Observe(v)
+		} else {
+			coldStat.Observe(v)
+		}
+	}
+	row.HotMsgsPer, row.ColdMsgsPer = hotStat.Mean(), coldStat.Mean()
+	return row, nil
+}
+
+func e6Raymond(p int, reqs []workload.Request, seed int64) (E6Row, error) {
+	n := 1 << p
+	row := E6Row{Algorithm: "classic-raymond", N: n}
+	nodes, err := raymond.NewSystem(p)
+	if err != nil {
+		return row, err
+	}
+	rec := &trace.Recorder{}
+	d, err := mutexsim.New(mutexsim.Config{
+		Peers:    raymond.Peers(nodes),
+		Seed:     seed,
+		MinDelay: delta / 2,
+		MaxDelay: delta,
+		Recorder: rec,
+		CSTime:   csTime(delta),
+	})
+	if err != nil {
+		return row, err
+	}
+	if err := runBaselineSchedule(d, reqs); err != nil {
+		return row, err
+	}
+	if d.Grants() == 0 {
+		return row, fmt.Errorf("harness: e6 raymond had no grants")
+	}
+	row.MsgsPerCS = float64(rec.Total()) / float64(d.Grants())
+	return row, nil
+}
+
+// FormatE6 renders the adaptivity comparison.
+func FormatE6(rows []E6Row) string {
+	header := []string{"algorithm", "N", "msgs/CS", "hot msgs/CS", "cold msgs/CS"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		hot, cold := "-", "-"
+		if r.HotMsgsPer > 0 {
+			hot = fmt.Sprintf("%.3f", r.HotMsgsPer)
+			cold = fmt.Sprintf("%.3f", r.ColdMsgsPer)
+		}
+		body[i] = []string{
+			r.Algorithm,
+			strconv.Itoa(r.N),
+			fmt.Sprintf("%.3f", r.MsgsPerCS),
+			hot,
+			cold,
+		}
+	}
+	return "E6 — workload adaptivity: adversarial hotspot (80% of load on spread deep leaves)\n" +
+		table(header, body)
+}

@@ -1,0 +1,126 @@
+// Package harness regenerates every quantitative claim of the paper's
+// evaluation (DESIGN.md experiments E1-E5) and formats the results as the
+// tables printed by cmd/ocmxbench and recorded in EXPERIMENTS.md.
+//
+// Every experiment is deterministic given its seed.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// delta is the simulated maximum message delay used across experiments.
+const delta = time.Millisecond
+
+// ftNodeConfig is the node configuration used by the failure experiments.
+// The suspicion slack must exceed the longest legitimate wait (queueing
+// behind concurrent critical sections), or healthy waits masquerade as
+// failures and their searches pollute the overhead counts — the paper's
+// suspicion delays are lower bounds ("at least 2·pmax·δ") for exactly
+// this reason.
+func ftNodeConfig() core.Config {
+	return core.Config{
+		FT:             true,
+		Delta:          delta,
+		CSEstimate:     delta,
+		SuspicionSlack: 24 * delta,
+	}
+}
+
+// newNetwork builds a failure-free open-cube network recording into rec.
+func newNetwork(p int, seed int64, rec *trace.Recorder, pol core.Policy) (*sim.Network, error) {
+	return sim.New(sim.Config{
+		P:        p,
+		Seed:     seed,
+		Delay:    sim.FixedDelay(delta),
+		Recorder: rec,
+		Node:     core.Config{Policy: pol},
+	})
+}
+
+// singleRequestCost measures c(i): the number of messages to fully serve
+// one request from node i on a pristine 2^p-open-cube with the token at
+// the root, including the final token return.
+func singleRequestCost(p int, i ocube.Pos) (int64, error) {
+	rec := &trace.Recorder{}
+	w, err := newNetwork(p, 1, rec, nil)
+	if err != nil {
+		return 0, err
+	}
+	w.RequestCS(i, 0)
+	if !w.RunUntilQuiescent(time.Hour) {
+		return 0, fmt.Errorf("harness: no quiescence for request from %v", i)
+	}
+	return rec.Total(), nil
+}
+
+// runSchedule replays a request schedule on a network and returns after
+// quiescence.
+func runSchedule(w *sim.Network, reqs []workload.Request) error {
+	for _, r := range reqs {
+		w.RequestCS(ocube.Pos(r.Node), r.At)
+	}
+	if !w.RunUntilQuiescent(24 * time.Hour) {
+		return fmt.Errorf("harness: schedule did not quiesce")
+	}
+	return nil
+}
+
+// csTime returns a CS-duration sampler uniform in [0, max).
+func csTime(max time.Duration) func(*rand.Rand) time.Duration {
+	return func(rng *rand.Rand) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		return time.Duration(rng.Int63n(int64(max)))
+	}
+}
+
+// table renders rows of columns with right-aligned cells under a header.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// newRng returns a seeded generator (shared by tests and tools).
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

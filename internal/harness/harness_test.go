@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ocube"
+	"repro/internal/workload"
+)
+
+func TestE2MatchesAlphaRecurrenceExactly(t *testing.T) {
+	// The headline analytical reproduction: the measured per-node average
+	// on pristine cubes equals αp/2^p exactly, for every cube order.
+	rows, err := E2Average([]int{1, 2, 3, 4, 5, 6}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Measured-r.AlphaExact) > 1e-9 {
+			t.Errorf("N=%d: measured %.6f != exact %.6f", r.N, r.Measured, r.AlphaExact)
+		}
+		if r.SteadyState <= 0 {
+			t.Errorf("N=%d: steady-state average %.3f", r.N, r.SteadyState)
+		}
+		// The closed form approximates from above for these sizes.
+		if r.Approx < r.AlphaExact {
+			t.Errorf("N=%d: approx %.4f below exact %.4f", r.N, r.Approx, r.AlphaExact)
+		}
+	}
+	if s := FormatE2(rows); !strings.Contains(s, "E2") {
+		t.Error("FormatE2 missing header")
+	}
+}
+
+func TestE1WithinStrictBound(t *testing.T) {
+	rows, err := E1WorstCase([]int{1, 2, 3, 4, 5}, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxMeasured > int64(r.StrictBound) {
+			t.Errorf("N=%d: max %d exceeds strict bound %d", r.N, r.MaxMeasured, r.StrictBound)
+		}
+		// For N ≥ 8 the pristine cube already realizes log2(N)+2 (e.g.
+		// paper node 6 on the 8-cube), demonstrating the off-by-one in
+		// the paper's worst-case claim.
+		if r.N >= 8 && r.MaxMeasured <= int64(r.PaperBound) {
+			t.Errorf("N=%d: max %d does not exceed the paper bound %d; expected the log2N+2 case",
+				r.N, r.MaxMeasured, r.PaperBound)
+		}
+	}
+	if s := FormatE1(rows); !strings.Contains(s, "E1") {
+		t.Error("FormatE1 missing header")
+	}
+}
+
+func TestE3SafeAndOrdered(t *testing.T) {
+	row, err := E3FailureOverhead(3, 40, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Violations != 0 {
+		t.Errorf("violations = %d", row.Violations)
+	}
+	if row.RepairPerFail <= 0 || row.RepairPerFail > 200 {
+		t.Errorf("repair/failure = %.2f out of sane range", row.RepairPerFail)
+	}
+	if row.Grants == 0 {
+		t.Error("no grants at all")
+	}
+	paper, err := E3FailureOverheadPaperMode(3, 40, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paper.RepairPerFail > row.RepairPerFail {
+		t.Errorf("paper mode (%.2f) costlier than safe mode (%.2f)",
+			paper.RepairPerFail, row.RepairPerFail)
+	}
+	if s := FormatE3([]E3Row{row, paper}); !strings.Contains(s, "single sweep") {
+		t.Error("FormatE3 missing mode column")
+	}
+}
+
+func TestE4LogarithmicGrowth(t *testing.T) {
+	rows, err := E4SearchCost([]int{3, 4, 5}, 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.MeanReconnect <= 0 {
+			t.Errorf("N=%d: no reconnect searches measured", r.N)
+		}
+		// O(log N): reconnect mean must stay well below the cube size
+		// (small cubes legitimately probe a large fraction).
+		if r.MeanReconnect > 0.75*float64(r.N) {
+			t.Errorf("N=%d: reconnect mean %.2f not logarithmic", r.N, r.MeanReconnect)
+		}
+		if i > 0 && r.MeanReconnect < rows[i-1].MeanReconnect {
+			t.Errorf("reconnect mean not monotone: N=%d %.2f < N=%d %.2f",
+				r.N, r.MeanReconnect, rows[i-1].N, rows[i-1].MeanReconnect)
+		}
+	}
+	if s := FormatE4(rows); !strings.Contains(s, "E4") {
+		t.Error("FormatE4 missing header")
+	}
+}
+
+func TestE5AllAlgorithmsSafeAndLive(t *testing.T) {
+	rows, err := E5Comparison([]int{3, 4}, []string{LoadSpread, LoadBurst, LoadHotspot}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlgo := map[string]int{}
+	for _, r := range rows {
+		byAlgo[r.Algorithm]++
+		if r.Violations != 0 {
+			t.Errorf("%s N=%d %s: %d violations", r.Algorithm, r.N, r.Load, r.Violations)
+		}
+		if r.Grants == 0 {
+			t.Errorf("%s N=%d %s: no grants", r.Algorithm, r.N, r.Load)
+		}
+		if r.MsgsPerCS <= 0 || r.MsgsPerCS > 3*float64(r.N) {
+			t.Errorf("%s N=%d %s: msgs/CS %.2f out of range", r.Algorithm, r.N, r.Load, r.MsgsPerCS)
+		}
+	}
+	for _, algo := range E5Algorithms {
+		if byAlgo[algo] != 6 {
+			t.Errorf("algorithm %s measured %d times, want 6", algo, byAlgo[algo])
+		}
+	}
+	if s := FormatE5(rows); !strings.Contains(s, "E5") {
+		t.Error("FormatE5 missing header")
+	}
+}
+
+func TestWorkloadGenerators(t *testing.T) {
+	rng := newRng(1)
+	u := workload.Uniform(rng, 8, 100, 1000)
+	if len(u) != 100 {
+		t.Errorf("uniform count = %d", len(u))
+	}
+	for i := 1; i < len(u); i++ {
+		if u[i].At < u[i-1].At {
+			t.Fatal("uniform schedule not sorted")
+		}
+	}
+	h := workload.Hotspot(rng, 8, 200, 1000, 2, 0.9)
+	hot := 0
+	for _, r := range h {
+		if r.Node < 2 {
+			hot++
+		}
+	}
+	if hot < 120 {
+		t.Errorf("hotspot fraction too low: %d/200", hot)
+	}
+	ps := workload.Poisson(rng, 8, 10, 1000)
+	if len(ps) == 0 {
+		t.Error("poisson generated nothing")
+	}
+	rr := workload.RoundRobin(5, 10)
+	if len(rr) != 5 || rr[4].Node != 4 || rr[4].At != 40 {
+		t.Errorf("round robin wrong: %+v", rr)
+	}
+	// Degenerate hotspot parameters are clamped.
+	if got := workload.Hotspot(rng, 4, 10, 100, 0, 1.0); len(got) != 10 {
+		t.Error("hotspot with zero hot nodes")
+	}
+}
+
+func TestSingleRequestCostMatchesHandTrace(t *testing.T) {
+	// Hand-checked values from the paper's structures: on the pristine
+	// 8-cube, c(5)=2 (all-boundary branch), c(6)=5 (the log2N+2 case),
+	// c(2)=3 (direct lend), c(8)=4.
+	for _, tc := range []struct {
+		label int
+		want  int64
+	}{
+		{1, 0}, {2, 3}, {3, 3}, {4, 4}, {5, 2}, {6, 5}, {7, 3}, {8, 4},
+	} {
+		got, err := singleRequestCost(3, ocube.FromLabel(tc.label))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("c(%d) = %d, want %d", tc.label, got, tc.want)
+		}
+	}
+}
+
+func TestE6AdaptivityShape(t *testing.T) {
+	// The paper's adaptivity claim (Section 6): with frequent requesters
+	// placed adversarially for a static tree, the open-cube must (a) be
+	// cheaper overall than static Raymond, and (b) serve its hot nodes
+	// more cheaply than its cold ones — evidence the tree restructured.
+	rows, err := E6Adaptivity([]int{4, 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlgo := map[string]map[int]E6Row{}
+	for _, r := range rows {
+		if byAlgo[r.Algorithm] == nil {
+			byAlgo[r.Algorithm] = map[int]E6Row{}
+		}
+		byAlgo[r.Algorithm][r.N] = r
+	}
+	for _, n := range []int{16, 32} {
+		oc, ray := byAlgo["open-cube"][n], byAlgo["classic-raymond"][n]
+		if oc.MsgsPerCS >= ray.MsgsPerCS {
+			t.Errorf("N=%d: open-cube %.2f not cheaper than static raymond %.2f",
+				n, oc.MsgsPerCS, ray.MsgsPerCS)
+		}
+		if oc.HotMsgsPer >= oc.ColdMsgsPer {
+			t.Errorf("N=%d: hot nodes (%.2f) not cheaper than cold (%.2f); no adaptation",
+				n, oc.HotMsgsPer, oc.ColdMsgsPer)
+		}
+	}
+	if s := FormatE6(rows); !strings.Contains(s, "E6") {
+		t.Error("FormatE6 missing header")
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 || s.Quantile(0.5) != 0 {
+		t.Error("zero-value summary must report zeros")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Errorf("count = %d", s.Count())
+	}
+	if got := s.Mean(); math.Abs(got-31.0/8) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min=%v max=%v", s.Min(), s.Max())
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Errorf("median = %v, want 3 (nearest rank)", q)
+	}
+	if q := s.Quantile(1.0); q != 9 {
+		t.Errorf("p100 = %v", q)
+	}
+	if q := s.Quantile(0.0); q != 1 {
+		t.Errorf("p0 = %v", q)
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestSummaryStddev(t *testing.T) {
+	var s Summary
+	if s.Stddev() != 0 {
+		t.Error("stddev of empty summary")
+	}
+	s.Observe(2)
+	if s.Stddev() != 0 {
+		t.Error("stddev of single sample")
+	}
+	s.Observe(4)
+	if got := s.Stddev(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("stddev = %v, want 1", got)
+	}
+}
+
+func TestSummaryObserveAfterQuantile(t *testing.T) {
+	// Observations after a sorted read must keep statistics correct.
+	var s Summary
+	s.Observe(5)
+	_ = s.Quantile(0.5)
+	s.Observe(1)
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("min=%v max=%v after re-observe", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryConcurrent(t *testing.T) {
+	var s Summary
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Observe(float64(i))
+				_ = s.Mean()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Count() != 800 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+func TestSummaryPropertyMeanBounds(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Summary
+		ok := false
+		for _, v := range vals {
+			// Keep magnitudes where the running sums cannot overflow.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue
+			}
+			s.Observe(v)
+			ok = true
+		}
+		if !ok {
+			return true
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package mutexsim is a minimal discrete-event driver for distributed
+// mutual exclusion baselines (Raymond, Naimi-Trehel). It mirrors the
+// workload semantics of internal/sim — virtual time, seeded random
+// delays, simulated critical sections, quiescence detection and message
+// counting — over a small algorithm-agnostic Peer interface, so the
+// comparison experiment E5 drives every algorithm with identical
+// schedules.
+package mutexsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Message is the generic wire unit for baseline algorithms.
+type Message struct {
+	Kind     string
+	From, To int
+}
+
+// Effect is an action requested by a Peer.
+type Effect interface{ effect() }
+
+// Send transmits a message.
+type Send struct{ Msg Message }
+
+// Grant reports that the peer may enter its critical section.
+type Grant struct{}
+
+func (Send) effect()  {}
+func (Grant) effect() {}
+
+// Peer is a single node of a baseline algorithm. Implementations are
+// plain state machines; all calls are made from the driver's single
+// goroutine.
+type Peer interface {
+	// Request registers the local wish to enter the critical section.
+	Request() []Effect
+	// Release ends the critical section.
+	Release() []Effect
+	// Deliver handles one incoming message.
+	Deliver(m Message) []Effect
+}
+
+// Config describes a baseline simulation run.
+type Config struct {
+	Peers    []Peer
+	Seed     int64
+	MinDelay time.Duration // per-message delay drawn uniformly
+	MaxDelay time.Duration
+	CSTime   func(rng *rand.Rand) time.Duration
+	Recorder *trace.Recorder
+}
+
+// Driver runs the event loop.
+type Driver struct {
+	cfg        Config
+	rng        *rand.Rand
+	now        time.Duration
+	events     eventQueue
+	seq        uint64
+	inflight   int
+	pendingOps int
+	inCS       int
+	grants     int64
+	violations int64
+	wanting    []bool
+}
+
+// New builds a driver over the given peers.
+func New(cfg Config) (*Driver, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("mutexsim: no peers")
+	}
+	if cfg.MinDelay <= 0 {
+		cfg.MinDelay = time.Millisecond
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	return &Driver{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		wanting: make([]bool, len(cfg.Peers)),
+	}, nil
+}
+
+// Grants returns the number of completed critical-section entries.
+func (d *Driver) Grants() int64 { return d.grants }
+
+// Violations returns the number of overlapping critical sections
+// observed (must be zero for a correct algorithm).
+func (d *Driver) Violations() int64 { return d.violations }
+
+// Now returns the current virtual time.
+func (d *Driver) Now() time.Duration { return d.now }
+
+// RequestCS schedules peer x's request after delay dt.
+func (d *Driver) RequestCS(x int, dt time.Duration) {
+	d.pendingOps++
+	d.at(dt, func() {
+		d.pendingOps--
+		if d.wanting[x] {
+			return
+		}
+		d.wanting[x] = true
+		d.apply(x, d.cfg.Peers[x].Request())
+	})
+}
+
+// RunUntilQuiescent executes events until no work remains or maxTime
+// passes; it reports whether quiescence was reached.
+func (d *Driver) RunUntilQuiescent(maxTime time.Duration) bool {
+	for d.busy() {
+		ev, ok := d.events.peek()
+		if !ok || ev.at > maxTime {
+			return false
+		}
+		d.step()
+	}
+	return true
+}
+
+func (d *Driver) busy() bool {
+	if d.inflight > 0 || d.pendingOps > 0 || d.inCS > 0 {
+		return true
+	}
+	for _, w := range d.wanting {
+		if w {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Driver) step() {
+	ev, _ := d.events.peek()
+	d.events.pop()
+	d.now = ev.at
+	ev.fn()
+}
+
+func (d *Driver) at(dt time.Duration, fn func()) {
+	if dt < 0 {
+		dt = 0
+	}
+	d.seq++
+	d.events.push(event{at: d.now + dt, seq: d.seq, fn: fn})
+}
+
+func (d *Driver) apply(x int, effs []Effect) {
+	for _, e := range effs {
+		switch e := e.(type) {
+		case Send:
+			d.deliver(e.Msg)
+		case Grant:
+			d.enterCS(x)
+		}
+	}
+}
+
+func (d *Driver) deliver(m Message) {
+	if d.cfg.Recorder != nil {
+		class := trace.ClassRequest
+		if m.Kind == "token" || m.Kind == "privilege" {
+			class = trace.ClassToken
+		}
+		d.cfg.Recorder.Record(trace.Event{
+			Kind: m.Kind, Class: class, From: m.From, To: m.To, Source: -1,
+		})
+	}
+	span := int64(d.cfg.MaxDelay - d.cfg.MinDelay)
+	delay := d.cfg.MinDelay
+	if span > 0 {
+		delay += time.Duration(d.rng.Int63n(span + 1))
+	}
+	d.inflight++
+	d.at(delay, func() {
+		d.inflight--
+		d.apply(m.To, d.cfg.Peers[m.To].Deliver(m))
+	})
+}
+
+func (d *Driver) enterCS(x int) {
+	d.grants++
+	d.inCS++
+	if d.inCS > 1 {
+		d.violations++
+	}
+	var dur time.Duration
+	if d.cfg.CSTime != nil {
+		dur = d.cfg.CSTime(d.rng)
+	}
+	d.pendingOps++
+	d.at(dur, func() {
+		d.pendingOps--
+		d.inCS--
+		d.wanting[x] = false
+		d.apply(x, d.cfg.Peers[x].Release())
+	})
+}
+
+// event queue: a binary heap ordered by (at, seq).
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() {
+	n := len(*q) - 1
+	(*q)[0] = (*q)[n]
+	*q = (*q)[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*q)[i], (*q)[smallest] = (*q)[smallest], (*q)[i]
+		i = smallest
+	}
+}
+
+func (q eventQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) peek() (event, bool) {
+	if len(q) == 0 {
+		return event{}, false
+	}
+	return q[0], true
+}

@@ -1,0 +1,109 @@
+package mutexsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// tokenRing is a trivial Peer for driver tests: a two-node system where
+// node 0 owns a token and grants itself immediately, forwarding to the
+// peer on request.
+type tokenRing struct {
+	self    int
+	token   bool
+	wanting bool
+}
+
+func (p *tokenRing) Request() []Effect {
+	p.wanting = true
+	if p.token {
+		return []Effect{Grant{}}
+	}
+	return []Effect{Send{Msg: Message{Kind: "request", From: p.self, To: 1 - p.self}}}
+}
+
+func (p *tokenRing) Release() []Effect {
+	p.wanting = false
+	return nil
+}
+
+func (p *tokenRing) Deliver(m Message) []Effect {
+	switch m.Kind {
+	case "request":
+		if p.token && !p.wanting {
+			p.token = false
+			return []Effect{Send{Msg: Message{Kind: "token", From: p.self, To: m.From}}}
+		}
+	case "token":
+		p.token = true
+		if p.wanting {
+			return []Effect{Grant{}}
+		}
+	}
+	return nil
+}
+
+func TestDriverValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty peer set accepted")
+	}
+}
+
+func TestDriverRunsTokenRing(t *testing.T) {
+	peers := []Peer{&tokenRing{self: 0, token: true}, &tokenRing{self: 1}}
+	d, err := New(Config{Peers: peers, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.RequestCS(1, 0)
+	d.RequestCS(0, 5*time.Millisecond)
+	if !d.RunUntilQuiescent(time.Minute) {
+		t.Fatal("no quiescence")
+	}
+	if d.Grants() != 2 || d.Violations() != 0 {
+		t.Errorf("grants=%d violations=%d", d.Grants(), d.Violations())
+	}
+	if d.Now() == 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestDriverDuplicateRequestIgnored(t *testing.T) {
+	peers := []Peer{&tokenRing{self: 0, token: true}, &tokenRing{self: 1}}
+	d2, err := New(Config{Peers: peers, Seed: 1,
+		CSTime: func(*rand.Rand) time.Duration { return time.Millisecond }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.RequestCS(0, 0)
+	d2.RequestCS(0, 0) // duplicate while wanting: ignored
+	if !d2.RunUntilQuiescent(time.Minute) {
+		t.Fatal("no quiescence")
+	}
+	if d2.Grants() != 1 {
+		t.Errorf("grants = %d, want 1", d2.Grants())
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	order := []int{}
+	q.push(event{at: 3, seq: 1, fn: func() { order = append(order, 3) }})
+	q.push(event{at: 1, seq: 2, fn: func() { order = append(order, 1) }})
+	q.push(event{at: 1, seq: 3, fn: func() { order = append(order, 2) }})
+	q.push(event{at: 2, seq: 4, fn: func() { order = append(order, 9) }})
+	prevAt := time.Duration(-1)
+	for len(q) > 0 {
+		e, _ := q.peek()
+		q.pop()
+		if e.at < prevAt {
+			t.Fatal("heap order violated")
+		}
+		prevAt = e.at
+		e.fn()
+	}
+	if order[0] != 1 || order[1] != 2 {
+		t.Errorf("same-instant FIFO violated: %v", order)
+	}
+}

@@ -1,0 +1,140 @@
+// Package naimitrehel implements Naimi & Trehel's distributed mutual
+// exclusion algorithm (ICDCS 1987) — the fully dynamic baseline the paper
+// compares against. Each node keeps a probable-owner pointer ("last")
+// that is path-compressed by every request, plus a "next" pointer that
+// threads waiting requesters into a distributed FIFO queue; the token
+// jumps directly from one critical-section user to the next.
+//
+// Average messages per request is O(log N); the worst case is O(N)
+// because the last-pointer forest can degenerate into a chain.
+package naimitrehel
+
+import (
+	"fmt"
+
+	"repro/internal/mutexsim"
+)
+
+// Message kinds.
+const (
+	// MsgRequest routes a requester identity towards the probable owner.
+	MsgRequest = "request"
+	// MsgToken hands the token to the next waiting requester.
+	MsgToken = "token"
+)
+
+const nobody = -1
+
+// Node is one participant. Construct a full system with NewSystem.
+type Node struct {
+	self       int
+	last       int // probable owner
+	next       int // next requester in the distributed queue, or nobody
+	token      bool
+	requesting bool
+
+	effects []mutexsim.Effect
+}
+
+var _ mutexsim.Peer = (*Node)(nil)
+
+// NewSystem builds n nodes with the classic initialization: node 0 owns
+// the token and everyone's probable owner is node 0.
+func NewSystem(n int) ([]*Node, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("naimitrehel: n=%d out of range", n)
+	}
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &Node{self: i, last: 0, next: nobody, token: i == 0}
+	}
+	return nodes, nil
+}
+
+// Peers converts the system to the driver's peer slice.
+func Peers(nodes []*Node) []mutexsim.Peer {
+	peers := make([]mutexsim.Peer, len(nodes))
+	for i, n := range nodes {
+		peers[i] = n
+	}
+	return peers
+}
+
+// Last exposes the probable-owner pointer for tests.
+func (n *Node) Last() int { return n.last }
+
+// Next exposes the queue-thread pointer for tests (-1 when unset).
+func (n *Node) Next() int { return n.next }
+
+// HasToken reports token ownership.
+func (n *Node) HasToken() bool { return n.token }
+
+func (n *Node) emit(e mutexsim.Effect) { n.effects = append(n.effects, e) }
+
+func (n *Node) take() []mutexsim.Effect {
+	out := n.effects
+	n.effects = nil
+	return out
+}
+
+func (n *Node) send(kind string, to, about int) {
+	n.emit(mutexsim.Send{Msg: mutexsim.Message{Kind: kind, From: about, To: to}})
+}
+
+// Request implements mutexsim.Peer. The requester identity rides in
+// Message.From end to end (intermediate nodes forward, never re-issue).
+func (n *Node) Request() []mutexsim.Effect {
+	n.requesting = true
+	if n.last == n.self {
+		// We are the probable owner: either we hold the idle token (enter
+		// directly) or the queue threads to us via someone's next.
+		if n.token {
+			n.emit(mutexsim.Grant{})
+		}
+		return n.take()
+	}
+	n.send(MsgRequest, n.last, n.self)
+	n.last = n.self
+	return n.take()
+}
+
+// Release implements mutexsim.Peer.
+func (n *Node) Release() []mutexsim.Effect {
+	n.requesting = false
+	if n.next != nobody {
+		n.send(MsgToken, n.next, n.self)
+		n.token = false
+		n.next = nobody
+	}
+	return n.take()
+}
+
+// Deliver implements mutexsim.Peer.
+func (n *Node) Deliver(m mutexsim.Message) []mutexsim.Effect {
+	switch m.Kind {
+	case MsgRequest:
+		requester := m.From
+		if n.last == n.self {
+			if n.requesting {
+				// We are queued ourselves: thread the requester behind us.
+				n.next = requester
+			} else if n.token {
+				// Idle owner: hand the token over directly.
+				n.send(MsgToken, requester, n.self)
+				n.token = false
+			} else {
+				// Owner-to-be (token en route): thread behind us.
+				n.next = requester
+			}
+		} else {
+			n.send(MsgRequest, n.last, requester)
+		}
+		n.last = requester
+	case MsgToken:
+		n.token = true
+		if n.requesting {
+			n.emit(mutexsim.Grant{})
+		}
+	}
+	return n.take()
+}

@@ -1,0 +1,94 @@
+package ocube
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Alpha returns α_p, the exact total message count to satisfy one request
+// from every node of a 2^p-open-cube with the token initially at the root
+// (Section 4):
+//
+//	α_1 = 2
+//	α_{p+1} = 2·α_p + 3·2^(p-1) + p
+//
+// Alpha(0) is 0 (a single node enters the critical section with no
+// messages).
+func Alpha(p int) int64 {
+	if p <= 0 {
+		return 0
+	}
+	a := int64(2)
+	for k := 1; k < p; k++ {
+		a = 2*a + 3*(1<<(k-1)) + int64(k)
+	}
+	return a
+}
+
+// AverageMessages returns the paper's exact average number of messages per
+// request for a 2^p-open-cube: α_p / 2^p.
+func AverageMessages(p int) float64 {
+	return float64(Alpha(p)) / float64(int64(1)<<p)
+}
+
+// AverageApprox returns the paper's closed-form approximation of the
+// average: (3/4)·log2(N) + 5/4.
+func AverageApprox(n int) float64 {
+	return 0.75*math.Log2(float64(n)) + 1.25
+}
+
+// WorstCaseMessages returns the paper's worst-case bound on the number of
+// messages per request: log2(N) + 1 (Section 4, from Proposition 2.3 with
+// 2·n1 + n2 + 1 ≤ log2(N) + 1).
+func WorstCaseMessages(n int) int {
+	p := 0
+	for 1<<p < n {
+		p++
+	}
+	return p + 1
+}
+
+// HypercubeEdges returns the edge set of the p-hypercube over positions
+// 0..2^p-1 as unordered pairs {x, y} with x < y. Every edge of a pristine
+// open-cube is a hypercube edge (Figure 3: the open-cube is the hypercube
+// with some links removed).
+func HypercubeEdges(p int) [][2]Pos {
+	n := 1 << p
+	var out [][2]Pos
+	for x := 0; x < n; x++ {
+		for b := 0; b < p; b++ {
+			y := x ^ 1<<b
+			if x < y {
+				out = append(out, [2]Pos{Pos(x), Pos(y)})
+			}
+		}
+	}
+	return out
+}
+
+// RenderHypercubeComparison produces a textual version of Figure 3 for a
+// 2^p cube: every hypercube edge annotated with whether the pristine
+// open-cube keeps it.
+func RenderHypercubeComparison(p int) string {
+	c := MustNew(p)
+	kept := make(map[[2]Pos]bool)
+	for x := 1; x < c.N(); x++ {
+		f := c.Father(Pos(x))
+		e := [2]Pos{f, Pos(x)}
+		if e[0] > e[1] {
+			e[0], e[1] = e[1], e[0]
+		}
+		kept[e] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-hypercube edges (o = kept by open-cube, . = removed):\n", c.N())
+	for _, e := range HypercubeEdges(p) {
+		mark := "."
+		if kept[e] {
+			mark = "o"
+		}
+		fmt.Fprintf(&b, "  %s %v -- %v\n", mark, e[0], e[1])
+	}
+	return b.String()
+}

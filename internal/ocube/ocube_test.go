@@ -1,0 +1,478 @@
+package ocube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialFatherMatchesPaperFigure2d(t *testing.T) {
+	// Figure 2d: the 16-open-cube, paper's 1-based numbering.
+	want := map[int]int{ // node -> father (0 = nil)
+		1: 0,
+		2: 1, 3: 1, 5: 1, 9: 1,
+		4: 3,
+		6: 5, 7: 5,
+		8:  7,
+		10: 9, 11: 9, 13: 9,
+		12: 11,
+		14: 13, 15: 13,
+		16: 15,
+	}
+	for node, father := range want {
+		got := InitialFather(FromLabel(node))
+		wantPos := None
+		if father != 0 {
+			wantPos = FromLabel(father)
+		}
+		if got != wantPos {
+			t.Errorf("father(%d) = %v, want %v", node, got, wantPos)
+		}
+	}
+}
+
+func TestInitialPowerMatchesPaper(t *testing.T) {
+	// Section 2: "node 1 is of power 4, node 2 of power 0, node 3 of power
+	// 1, node 5 of power 2, node 9 of power 3" in the 16-open-cube.
+	cases := map[int]int{1: 4, 2: 0, 3: 1, 5: 2, 9: 3}
+	for node, want := range cases {
+		if got := InitialPower(FromLabel(node), 4); got != want {
+			t.Errorf("power(%d) = %d, want %d", node, got, want)
+		}
+	}
+}
+
+func TestDistMatchesPaper(t *testing.T) {
+	// Section 2: dist(1,2)=1, dist(1,j)=2 for j=3,4, dist(1,j)=3 for
+	// j=5..8, dist(1,j)=4 for j=9..16.
+	for j, want := range map[int]int{
+		2: 1, 3: 2, 4: 2,
+		5: 3, 6: 3, 7: 3, 8: 3,
+		9: 4, 12: 4, 16: 4,
+	} {
+		if got := Dist(FromLabel(1), FromLabel(j)); got != want {
+			t.Errorf("dist(1,%d) = %d, want %d", j, got, want)
+		}
+	}
+	if Dist(3, 3) != 0 {
+		t.Errorf("dist(x,x) = %d, want 0", Dist(3, 3))
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(a, b uint8) bool {
+		return Dist(Pos(a), Pos(b)) == Dist(Pos(b), Pos(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistUltrametric(t *testing.T) {
+	// dist is the level of the smallest common group, hence an ultrametric:
+	// dist(x,z) <= max(dist(x,y), dist(y,z)).
+	f := func(a, b, c uint8) bool {
+		x, y, z := Pos(a), Pos(b), Pos(c)
+		m := Dist(x, y)
+		if d := Dist(y, z); d > m {
+			m = d
+		}
+		return Dist(x, z) <= m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPGroupsMatchPaper(t *testing.T) {
+	// Section 2: in the 16-open-cube {1,2} is a 1-group, {1,2,3,4} a
+	// 2-group, {5,6,7,8} a 2-group, {1..8} a 3-group, {1..16} a 4-group.
+	check := func(member int, p int, wantLabels ...int) {
+		t.Helper()
+		got := PGroup(FromLabel(member), p)
+		if len(got) != len(wantLabels) {
+			t.Fatalf("PGroup(%d,%d) size %d, want %d", member, p, len(got), len(wantLabels))
+		}
+		for i, w := range wantLabels {
+			if got[i] != FromLabel(w) {
+				t.Errorf("PGroup(%d,%d)[%d] = %v, want %d", member, p, i, got[i], w)
+			}
+		}
+	}
+	check(1, 1, 1, 2)
+	check(2, 2, 1, 2, 3, 4)
+	check(7, 2, 5, 6, 7, 8)
+	check(3, 3, 1, 2, 3, 4, 5, 6, 7, 8)
+	check(11, 4, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16)
+}
+
+func TestAtDistCountsAndMembership(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		got := AtDist(0, d)
+		if len(got) != 1<<(d-1) {
+			t.Errorf("len(AtDist(0,%d)) = %d, want %d", d, len(got), 1<<(d-1))
+		}
+		for _, y := range got {
+			if Dist(0, y) != d {
+				t.Errorf("AtDist(0,%d) contains %v at distance %d", d, y, Dist(0, y))
+			}
+		}
+	}
+	if got := AtDist(5, 0); len(got) != 1 || got[0] != 5 {
+		t.Errorf("AtDist(5,0) = %v, want [5]", got)
+	}
+}
+
+func TestNewCubeIsValid(t *testing.T) {
+	for p := 0; p <= 8; p++ {
+		c := MustNew(p)
+		if err := c.Validate(); err != nil {
+			t.Errorf("pristine cube p=%d invalid: %v", p, err)
+		}
+		if c.Root() != 0 {
+			t.Errorf("pristine cube p=%d root = %v, want 0", p, c.Root())
+		}
+	}
+}
+
+func TestNewRejectsBadOrder(t *testing.T) {
+	if _, err := New(-1); err == nil {
+		t.Error("New(-1) succeeded, want error")
+	}
+	if _, err := New(MaxP + 1); err == nil {
+		t.Error("New(MaxP+1) succeeded, want error")
+	}
+}
+
+func TestSonsAndPowers(t *testing.T) {
+	// "a node of power p has exactly p sons, whose powers range from 0 to
+	// p-1" (Section 2).
+	c := MustNew(5)
+	for x := 0; x < c.N(); x++ {
+		pos := Pos(x)
+		sons := c.Sons(pos)
+		p := c.Power(pos)
+		if len(sons) != p {
+			t.Fatalf("node %v of power %d has %d sons", pos, p, len(sons))
+		}
+		seen := make(map[int]bool)
+		for _, s := range sons {
+			seen[c.Power(s)] = true
+		}
+		for r := 0; r < p; r++ {
+			if !seen[r] {
+				t.Errorf("node %v missing son of power %d", pos, r)
+			}
+		}
+	}
+}
+
+func TestProposition21(t *testing.T) {
+	// If j is a son of i then power(j) = dist(i,j) - 1.
+	c := MustNew(6)
+	for x := 1; x < c.N(); x++ {
+		j := Pos(x)
+		i := c.Father(j)
+		if got, want := c.Power(j), Dist(i, j)-1; got != want {
+			t.Errorf("power(%v) = %d, want dist-1 = %d", j, got, want)
+		}
+	}
+}
+
+func TestCorollary21FatherUniqueness(t *testing.T) {
+	// father(i) is the only node j with dist(i,j) = power(i)+1 and
+	// power(j) > power(i).
+	c := MustNew(5)
+	for x := 1; x < c.N(); x++ {
+		i := Pos(x)
+		d := c.Power(i) + 1
+		var candidates []Pos
+		for _, j := range AtDist(i, d) {
+			if c.Power(j) > c.Power(i) {
+				candidates = append(candidates, j)
+			}
+		}
+		if len(candidates) != 1 || candidates[0] != c.Father(i) {
+			t.Errorf("node %v: candidates %v, want exactly [%v]", i, candidates, c.Father(i))
+		}
+	}
+}
+
+func TestLastSon(t *testing.T) {
+	c := MustNew(4)
+	// Root (paper node 1) has power 4; its last son has power 3: paper
+	// node 9 (position 8).
+	ls, ok := c.LastSon(0)
+	if !ok || ls != 8 {
+		t.Errorf("LastSon(root) = %v,%v, want position 8", ls, ok)
+	}
+	if _, ok := c.LastSon(FromLabel(2)); ok {
+		t.Error("leaf has a last son")
+	}
+	if !c.IsBoundaryEdge(8, 0) {
+		t.Error("(9,1) should be a boundary edge")
+	}
+	if c.IsBoundaryEdge(FromLabel(2), 0) {
+		t.Error("(2,1) should not be a boundary edge (power gap 4)")
+	}
+}
+
+func TestBTransformTheorem21(t *testing.T) {
+	c := MustNew(4)
+	// Swapping the root with its last son keeps the structure and swaps
+	// powers 4 <-> 3.
+	j, _ := c.LastSon(0)
+	pi, pj := c.Power(0), c.Power(j)
+	if err := c.BTransform(j); err != nil {
+		t.Fatalf("BTransform: %v", err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("after b-transform: %v", err)
+	}
+	if c.Power(0) != pi-1 || c.Power(j) != pj+1 {
+		t.Errorf("powers after swap: i=%d j=%d, want %d and %d", c.Power(0), c.Power(j), pi-1, pj+1)
+	}
+	if c.Root() != j {
+		t.Errorf("root = %v, want %v", c.Root(), j)
+	}
+	// The old root must now be the last son of the new root.
+	if !c.IsBoundaryEdge(0, j) {
+		t.Error("(old root, new root) is not a boundary edge after swap")
+	}
+}
+
+func TestBTransformRejectsNonBoundary(t *testing.T) {
+	// Figure 5's counter-example: in the 4-open-cube, swapping node 1
+	// (power 2) with its son 2 (power 0) destroys the structure.
+	c := MustNew(2)
+	if err := c.BTransform(FromLabel(2)); err != ErrNotBoundary {
+		t.Errorf("BTransform(non-boundary) = %v, want ErrNotBoundary", err)
+	}
+	// Forcing the figure-5 swap must be caught by Validate.
+	c.SetFather(FromLabel(2), None)
+	c.SetFather(FromLabel(1), FromLabel(2))
+	if err := c.Validate(); err == nil {
+		t.Error("figure-5 configuration validated as an open-cube")
+	}
+}
+
+// randomBTransforms applies k random valid b-transformations.
+func randomBTransforms(c *Cube, k int, rng *rand.Rand) {
+	for n := 0; n < k; n++ {
+		// Collect all boundary edges, pick one at random.
+		var js []Pos
+		for x := 0; x < c.N(); x++ {
+			j := Pos(x)
+			if f := c.Father(j); f != None && c.IsBoundaryEdge(j, f) {
+				js = append(js, j)
+			}
+		}
+		if len(js) == 0 {
+			return
+		}
+		j := js[rng.Intn(len(js))]
+		if err := c.BTransform(j); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func TestPropertyBTransformPreservesStructure(t *testing.T) {
+	// Property: any sequence of b-transformations keeps (a) open-cube
+	// validity, (b) all pairwise distances (trivially, they are label
+	// functions), and (c) the node membership of every p-group's subtree.
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(5)
+		c := MustNew(p)
+		randomBTransforms(c, int(steps%32), rng)
+		if err := c.Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Corollary 2.2: each canonical p-group must still be spanned by a
+		// subtree whose root's father is outside the group.
+		for g := 0; g <= p; g++ {
+			for base := Pos(0); int(base) < c.N(); base += 1 << g {
+				external := 0
+				for _, m := range PGroup(base, g) {
+					f := c.Father(m)
+					if f == None || GroupBase(f, g) != base {
+						external++
+					}
+				}
+				if external != 1 {
+					t.Logf("seed %d: %d-group at %v has %d external fathers", seed, g, base, external)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBranchBound(t *testing.T) {
+	// Proposition 2.3: r <= log2(N) - n1 on every branch, after arbitrary
+	// b-transformations. Implies depth <= log2(N).
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(6)
+		c := MustNew(p)
+		randomBTransforms(c, int(steps%64), rng)
+		for x := 0; x < c.N(); x++ {
+			r, n1 := c.BranchBound(Pos(x))
+			if r > p-n1 {
+				t.Logf("seed %d: node %d branch r=%d n1=%d p=%d", seed, x, r, n1, p)
+				return false
+			}
+		}
+		return c.Depth() <= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDetectsCorruptions(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(c *Cube)
+	}{
+		{"two roots", func(c *Cube) { c.SetFather(FromLabel(3), None) }},
+		{"self loop", func(c *Cube) { c.SetFather(FromLabel(5), FromLabel(5)) }},
+		{"cross-group father", func(c *Cube) { c.SetFather(FromLabel(2), FromLabel(16)) }},
+		{"cycle", func(c *Cube) {
+			c.SetFather(FromLabel(1), FromLabel(2))
+		}},
+		{"wrong linking node", func(c *Cube) {
+			// Link the halves via a non-root of the second half.
+			c.SetFather(FromLabel(9), FromLabel(2))
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := MustNew(4)
+			tt.mutate(c)
+			if err := c.Validate(); err == nil {
+				t.Error("corrupted cube validated as open-cube")
+			}
+		})
+	}
+}
+
+func TestBranch(t *testing.T) {
+	c := MustNew(4)
+	// Paper node 16 (position 15): branch 16 -> 15 -> 13 -> 9 -> 1.
+	got := c.Branch(FromLabel(16))
+	want := []Pos{FromLabel(16), FromLabel(15), FromLabel(13), FromLabel(9), FromLabel(1)}
+	if len(got) != len(want) {
+		t.Fatalf("branch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("branch = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAlphaRecurrence(t *testing.T) {
+	// Hand-checked values: α1=2, α2=8, α3=24, α4=63, α5=154.
+	want := map[int]int64{0: 0, 1: 2, 2: 8, 3: 24, 4: 63, 5: 154}
+	for p, w := range want {
+		if got := Alpha(p); got != w {
+			t.Errorf("Alpha(%d) = %d, want %d", p, got, w)
+		}
+	}
+}
+
+func TestAverageMessagesApproximation(t *testing.T) {
+	// The closed form (3/4)log2 N + 5/4 approximates αp/2^p; the paper
+	// derives it as the asymptotic form. Check convergence.
+	for p := 6; p <= 16; p++ {
+		exact := AverageMessages(p)
+		approx := AverageApprox(1 << p)
+		if diff := approx - exact; diff < 0 || diff > 1.0 {
+			t.Errorf("p=%d: exact %.4f approx %.4f", p, exact, approx)
+		}
+	}
+}
+
+func TestWorstCaseMessages(t *testing.T) {
+	for _, tt := range []struct{ n, want int }{
+		{2, 2}, {4, 3}, {8, 4}, {16, 5}, {1024, 11},
+	} {
+		if got := WorstCaseMessages(tt.n); got != tt.want {
+			t.Errorf("WorstCaseMessages(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestHypercubeContainsOpenCube(t *testing.T) {
+	// Figure 3: every pristine open-cube edge is a hypercube edge.
+	for p := 1; p <= 6; p++ {
+		edges := make(map[[2]Pos]bool)
+		for _, e := range HypercubeEdges(p) {
+			edges[e] = true
+		}
+		if want := (1 << p) / 2 * p; len(edges) != want {
+			t.Errorf("p=%d: %d hypercube edges, want %d", p, len(edges), want)
+		}
+		c := MustNew(p)
+		for x := 1; x < c.N(); x++ {
+			f := c.Father(Pos(x))
+			e := [2]Pos{f, Pos(x)}
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			if !edges[e] {
+				t.Errorf("p=%d: open-cube edge %v not in hypercube", p, e)
+			}
+		}
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	// Smoke tests for the renderers used by cmd/ocmxviz.
+	for p := 1; p <= 4; p++ {
+		if s := MustNew(p).Render(); len(s) == 0 {
+			t.Errorf("empty render for p=%d", p)
+		}
+	}
+	if s := RenderHypercubeComparison(3); len(s) == 0 {
+		t.Error("empty hypercube comparison")
+	}
+	c := MustNew(2)
+	c.SetFather(3, 3) // force unreachable/self-loop rendering path
+	if s := c.Render(); len(s) == 0 {
+		t.Error("empty render for corrupt cube")
+	}
+}
+
+func TestPosString(t *testing.T) {
+	if None.String() != "nil" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	if Pos(0).String() != "1" {
+		t.Errorf("Pos(0).String() = %q, want paper label 1", Pos(0).String())
+	}
+	if FromLabel(7) != 6 || Pos(6).Label() != 7 {
+		t.Error("label conversion mismatch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := MustNew(3)
+	d := c.Clone()
+	d.SetFather(1, 2)
+	if c.Father(1) == d.Father(1) {
+		t.Error("clone shares storage with original")
+	}
+	fs := c.Fathers()
+	fs[0] = 7
+	if c.Father(0) == 7 {
+		t.Error("Fathers returned internal storage")
+	}
+}

@@ -1,0 +1,143 @@
+// Package raymond implements K. Raymond's tree-based distributed mutual
+// exclusion algorithm (ACM TOCS 7(1), 1989) — the static-tree baseline the
+// paper compares against. The token (privilege) moves hop by hop along a
+// fixed spanning tree; each node keeps a FIFO queue of neighbour requests
+// and a holder pointer towards the token.
+//
+// Worst-case messages per request is O(d) where d is the tree diameter;
+// on the balanced binomial tree used here, O(log2 N).
+package raymond
+
+import (
+	"fmt"
+
+	"repro/internal/mutexsim"
+	"repro/internal/ocube"
+)
+
+// Message kinds.
+const (
+	// MsgRequest asks the holder-side neighbour to route the privilege
+	// here eventually.
+	MsgRequest = "request"
+	// MsgPrivilege transfers the token to a neighbour.
+	MsgPrivilege = "privilege"
+)
+
+// Node is one participant. Construct a full system with NewSystem.
+type Node struct {
+	self     int
+	holder   int // self, or the neighbour in the token's direction
+	using    bool
+	asked    bool
+	requestQ []int // pending requesters: neighbours or self
+
+	effects []mutexsim.Effect
+}
+
+var _ mutexsim.Peer = (*Node)(nil)
+
+// NewSystem builds 2^p nodes arranged on the pristine open-cube tree
+// (a binomial tree, diameter log2 N) with the privilege at position 0.
+// Raymond's algorithm works on any static spanning tree; using the same
+// tree as the open-cube algorithm makes the comparison fair.
+func NewSystem(p int) ([]*Node, error) {
+	if p < 0 || p > 20 {
+		return nil, fmt.Errorf("raymond: order p=%d out of range", p)
+	}
+	n := 1 << p
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		holder := i
+		if i != 0 {
+			// Initially the privilege is at node 0: holder points along
+			// the tree towards 0, i.e. at the initial open-cube father.
+			holder = int(ocube.InitialFather(ocube.Pos(i)))
+		}
+		nodes[i] = &Node{self: i, holder: holder}
+	}
+	return nodes, nil
+}
+
+// Peers converts the system to the driver's peer slice.
+func Peers(nodes []*Node) []mutexsim.Peer {
+	peers := make([]mutexsim.Peer, len(nodes))
+	for i, n := range nodes {
+		peers[i] = n
+	}
+	return peers
+}
+
+// Holder exposes the holder pointer for tests.
+func (n *Node) Holder() int { return n.holder }
+
+// Using reports whether the node is inside its critical section.
+func (n *Node) Using() bool { return n.using }
+
+// QueueLen returns the number of queued requests.
+func (n *Node) QueueLen() int { return len(n.requestQ) }
+
+func (n *Node) emit(e mutexsim.Effect) { n.effects = append(n.effects, e) }
+
+func (n *Node) take() []mutexsim.Effect {
+	out := n.effects
+	n.effects = nil
+	return out
+}
+
+// assignPrivilege passes the privilege to the queue head when possible
+// (Raymond's ASSIGN_PRIVILEGE).
+func (n *Node) assignPrivilege() {
+	if n.holder != n.self || n.using || len(n.requestQ) == 0 {
+		return
+	}
+	head := n.requestQ[0]
+	n.requestQ = n.requestQ[1:]
+	n.asked = false
+	if head == n.self {
+		n.using = true
+		n.emit(mutexsim.Grant{})
+		return
+	}
+	n.holder = head
+	n.emit(mutexsim.Send{Msg: mutexsim.Message{Kind: MsgPrivilege, From: n.self, To: head}})
+}
+
+// makeRequest forwards a request towards the holder when one is needed
+// (Raymond's MAKE_REQUEST).
+func (n *Node) makeRequest() {
+	if n.holder == n.self || len(n.requestQ) == 0 || n.asked {
+		return
+	}
+	n.asked = true
+	n.emit(mutexsim.Send{Msg: mutexsim.Message{Kind: MsgRequest, From: n.self, To: n.holder}})
+}
+
+// Request implements mutexsim.Peer.
+func (n *Node) Request() []mutexsim.Effect {
+	n.requestQ = append(n.requestQ, n.self)
+	n.assignPrivilege()
+	n.makeRequest()
+	return n.take()
+}
+
+// Release implements mutexsim.Peer.
+func (n *Node) Release() []mutexsim.Effect {
+	n.using = false
+	n.assignPrivilege()
+	n.makeRequest()
+	return n.take()
+}
+
+// Deliver implements mutexsim.Peer.
+func (n *Node) Deliver(m mutexsim.Message) []mutexsim.Effect {
+	switch m.Kind {
+	case MsgRequest:
+		n.requestQ = append(n.requestQ, m.From)
+	case MsgPrivilege:
+		n.holder = n.self
+	}
+	n.assignPrivilege()
+	n.makeRequest()
+	return n.take()
+}

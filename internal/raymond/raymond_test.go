@@ -1,0 +1,178 @@
+package raymond
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/mutexsim"
+	"repro/internal/trace"
+)
+
+func newDriver(t *testing.T, p int, seed int64, rec *trace.Recorder) (*mutexsim.Driver, []*Node) {
+	t.Helper()
+	nodes, err := NewSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := mutexsim.New(mutexsim.Config{
+		Peers:    Peers(nodes),
+		Seed:     seed,
+		MinDelay: time.Millisecond,
+		MaxDelay: 3 * time.Millisecond,
+		Recorder: rec,
+		CSTime: func(rng *rand.Rand) time.Duration {
+			return time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, nodes
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(-1); err == nil {
+		t.Error("NewSystem(-1) succeeded")
+	}
+	if _, err := NewSystem(21); err == nil {
+		t.Error("NewSystem(21) succeeded")
+	}
+}
+
+func TestInitialHolders(t *testing.T) {
+	nodes, err := NewSystem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].Holder() != 0 {
+		t.Errorf("holder(0) = %d, want self", nodes[0].Holder())
+	}
+	// Node 7's holder chain must lead to 0: 7 -> 6 -> 4 -> 0.
+	for x, want := range map[int]int{7: 6, 6: 4, 4: 0, 3: 2, 5: 4} {
+		if got := nodes[x].Holder(); got != want {
+			t.Errorf("holder(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestSingleRequestTravelsHopByHop(t *testing.T) {
+	rec := &trace.Recorder{}
+	d, nodes := newDriver(t, 3, 1, rec)
+	d.RequestCS(7, 0)
+	if !d.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if d.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", d.Grants())
+	}
+	// Path 7-6-4-0: 3 requests up, 3 privileges down.
+	if got := rec.Kind(MsgRequest); got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+	if got := rec.Kind(MsgPrivilege); got != 3 {
+		t.Errorf("privileges = %d, want 3", got)
+	}
+	// The holder chain now points towards 7 from everywhere on the path.
+	if nodes[0].Holder() != 4 || nodes[4].Holder() != 6 || nodes[6].Holder() != 7 {
+		t.Error("holder chain not redirected towards the new token owner")
+	}
+	if nodes[7].Holder() != 7 {
+		t.Error("token owner's holder must be self")
+	}
+}
+
+func TestHolderAlwaysSelfOrNeighbor(t *testing.T) {
+	// Raymond invariant: holder pointers stay on static tree edges.
+	nodes, err := NewSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbors := make([]map[int]bool, len(nodes))
+	for i := range nodes {
+		neighbors[i] = map[int]bool{i: true}
+	}
+	for i := 1; i < len(nodes); i++ {
+		f := nodes[i].Holder() // initial holder = tree father
+		neighbors[i][f] = true
+		neighbors[f][i] = true
+	}
+	d, err := mutexsim.New(mutexsim.Config{Peers: Peers(nodes), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		d.RequestCS(rng.Intn(len(nodes)), time.Duration(rng.Int63n(int64(30*time.Millisecond))))
+	}
+	if !d.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not quiesce")
+	}
+	for i, n := range nodes {
+		if !neighbors[i][n.Holder()] {
+			t.Errorf("node %d holder %d is not a tree neighbor", i, n.Holder())
+		}
+	}
+}
+
+func TestPropertySafetyAndLiveness(t *testing.T) {
+	f := func(seed int64, pRaw, reqRaw uint8) bool {
+		p := 1 + int(pRaw%4)
+		requests := 2 + int(reqRaw%30)
+		d, nodes := newDriver(t, p, seed, nil)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < requests; i++ {
+			d.RequestCS(rng.Intn(len(nodes)), time.Duration(rng.Int63n(int64(50*time.Millisecond))))
+		}
+		if !d.RunUntilQuiescent(time.Hour) {
+			t.Logf("seed %d: no quiescence", seed)
+			return false
+		}
+		if d.Violations() != 0 {
+			t.Logf("seed %d: %d violations", seed, d.Violations())
+			return false
+		}
+		if d.Grants() == 0 {
+			return false
+		}
+		// Exactly one node believes it is the holder.
+		holders := 0
+		for i, n := range nodes {
+			if n.Holder() == i {
+				holders++
+			}
+		}
+		if holders != 1 {
+			t.Logf("seed %d: %d self-holders", seed, holders)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorstCaseBoundedByDiameter(t *testing.T) {
+	// Sequential requests cost at most 2·diameter messages (requests up,
+	// privileges down). The binomial tree of order p has diameter ≤ 2p-1;
+	// a single request path is at most the depth p in the initial tree.
+	for p := 1; p <= 6; p++ {
+		rec := &trace.Recorder{}
+		d, nodes := newDriver(t, p, 42, rec)
+		rng := rand.New(rand.NewSource(9))
+		var before int64
+		for i := 0; i < 15; i++ {
+			before = rec.Total()
+			d.RequestCS(rng.Intn(len(nodes)), 0)
+			if !d.RunUntilQuiescent(time.Hour) {
+				t.Fatal("no quiescence")
+			}
+			cost := rec.Total() - before
+			if cost > int64(2*(2*p)) {
+				t.Errorf("p=%d: sequential request cost %d > 2·diameter %d", p, cost, 2*2*p)
+			}
+		}
+	}
+}

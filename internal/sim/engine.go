@@ -1,0 +1,125 @@
+// Package sim is a deterministic discrete-event simulator for the
+// protocol state machines in internal/core. Nodes execute instantaneously
+// at virtual-time events; messages are delivered after pluggable random
+// delays drawn from a seeded generator, so whole runs — including failure
+// injection and timer-driven recovery — replay exactly from a seed.
+//
+// The simulator stands in for the paper's Intel iPSC/2 testbed: the
+// reported metric (message counts) depends only on the logical structure
+// and interleavings, which the simulator reproduces under the paper's
+// assumption of a bounded transmission delay δ.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// event is a scheduled callback. seq breaks ties FIFO so same-instant
+// events run in schedule order, which keeps runs deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Engine is a virtual-time event loop. The zero value is ready to use.
+type Engine struct {
+	now  time.Duration
+	next uint64
+	heap eventHeap
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// After schedules fn to run at Now()+d. A non-positive d runs fn at the
+// current instant, after already-scheduled same-instant events.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.next++
+	heap.Push(&e.heap, event{at: e.now + d, seq: e.next, fn: fn})
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Step runs the next event; it reports false when none remain.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events with timestamps ≤ deadline and advances the
+// clock to the deadline.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for {
+		ev, ok := e.heap.Peek()
+		if !ok || ev.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile steps until cond returns false before some event, the event
+// heap drains, or the clock passes maxTime. It returns true if it stopped
+// because cond became false.
+func (e *Engine) RunWhile(cond func() bool, maxTime time.Duration) bool {
+	for cond() {
+		ev, ok := e.heap.Peek()
+		if !ok || ev.at > maxTime {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+// Drain runs every remaining event up to maxTime.
+func (e *Engine) Drain(maxTime time.Duration) {
+	for {
+		ev, ok := e.heap.Peek()
+		if !ok || ev.at > maxTime {
+			return
+		}
+		e.Step()
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/trace"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.After(3*time.Millisecond, func() { got = append(got, 3) })
+	e.After(time.Millisecond, func() { got = append(got, 1) })
+	e.After(2*time.Millisecond, func() { got = append(got, 2) })
+	// Same-instant events run in schedule order.
+	e.After(2*time.Millisecond, func() { got = append(got, 4) })
+	for e.Step() {
+	}
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Errorf("now = %v", e.Now())
+	}
+}
+
+func TestEngineNegativeDelayRunsNow(t *testing.T) {
+	var e Engine
+	ran := false
+	e.After(-time.Second, func() { ran = true })
+	e.Step()
+	if !ran || e.Now() != 0 {
+		t.Errorf("ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineRunUntilAdvancesClock(t *testing.T) {
+	var e Engine
+	count := 0
+	e.After(time.Millisecond, func() { count++ })
+	e.After(10*time.Millisecond, func() { count++ })
+	e.RunUntil(5 * time.Millisecond)
+	if count != 1 {
+		t.Errorf("count = %d, want 1", count)
+	}
+	if e.Now() != 5*time.Millisecond {
+		t.Errorf("now = %v, want 5ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	e.Drain(time.Second)
+	if count != 2 {
+		t.Errorf("count = %d after drain", count)
+	}
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	var e Engine
+	n := 0
+	for i := 0; i < 5; i++ {
+		e.After(time.Duration(i)*time.Millisecond, func() { n++ })
+	}
+	stopped := e.RunWhile(func() bool { return n < 3 }, time.Second)
+	if !stopped || n != 3 {
+		t.Errorf("stopped=%v n=%d", stopped, n)
+	}
+	// Condition never satisfied: heap drains, returns false.
+	if e.RunWhile(func() bool { return true }, time.Second) {
+		t.Error("RunWhile reported success with a never-false condition")
+	}
+}
+
+// TestDeterministicReplay: two networks with identical seeds must produce
+// byte-identical traces — the property the whole experiment harness
+// relies on.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (string, int64) {
+		rec := &trace.Recorder{}
+		w, err := New(Config{
+			P:        3,
+			Seed:     99,
+			Delay:    UniformDelay(time.Millisecond, 4*time.Millisecond),
+			Recorder: rec,
+			Node:     core.Config{FT: true, Delta: 4 * time.Millisecond, SuspicionSlack: 20 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			w.RequestCS(ocube.Pos(i), time.Duration(i)*time.Millisecond)
+		}
+		w.Fail(2, 5*time.Millisecond)
+		w.Recover(2, 500*time.Millisecond)
+		if !w.RunUntilQuiescent(time.Hour) {
+			t.Fatal("no quiescence")
+		}
+		return rec.String(), w.Grants()
+	}
+	s1, g1 := run()
+	s2, g2 := run()
+	if s1 != s2 || g1 != g2 {
+		t.Errorf("replays diverged:\n%s (%d grants)\n%s (%d grants)", s1, g1, s2, g2)
+	}
+}
+
+// TestAblationA3NonFIFOChannels: the algorithm must be correct with and
+// without FIFO channels (the paper assumes only reliability, not order).
+func TestAblationA3NonFIFOChannels(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		delay DelayFn
+	}{
+		{"fifo", FixedDelay(time.Millisecond)},
+		{"non-fifo", UniformDelay(time.Millisecond, 10*time.Millisecond)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := &trace.Recorder{}
+			w, err := New(Config{P: 4, Seed: 5, Delay: tc.delay, Recorder: rec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < w.N(); i++ {
+				w.RequestCS(ocube.Pos(i), time.Duration(i%3)*time.Millisecond)
+			}
+			if !w.RunUntilQuiescent(time.Hour) {
+				t.Fatal("no quiescence")
+			}
+			if w.Grants() != int64(w.N()) || w.Violations() != 0 {
+				t.Errorf("grants=%d violations=%d", w.Grants(), w.Violations())
+			}
+			if err := w.Snapshot().Validate(); err != nil {
+				t.Errorf("final tree: %v", err)
+			}
+		})
+	}
+}
+
+// TestAblationA4DelaySensitivity: failure-repair correctness must hold
+// across delay distributions as long as δ bounds them; overhead may vary.
+func TestAblationA4DelaySensitivity(t *testing.T) {
+	delta := 4 * time.Millisecond
+	for _, tc := range []struct {
+		name  string
+		delay DelayFn
+	}{
+		{"constant", FixedDelay(delta)},
+		{"uniform-half", UniformDelay(delta/2, delta)},
+		{"uniform-wide", UniformDelay(delta/8, delta)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := New(Config{
+				P: 3, Seed: 77, Delay: tc.delay,
+				Node: core.Config{FT: true, Delta: delta,
+					CSEstimate: delta, SuspicionSlack: 30 * delta},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Fail(4, 0)
+			w.RequestCS(5, delta) // son of the victim
+			w.RequestCS(2, 2*delta)
+			if !w.RunUntilQuiescent(time.Hour) {
+				t.Fatal("no quiescence")
+			}
+			if w.Grants() != 2 || w.Violations() != 0 || w.LiveTokens() != 1 {
+				t.Errorf("grants=%d violations=%d tokens=%d",
+					w.Grants(), w.Violations(), w.LiveTokens())
+			}
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/trace"
+)
+
+const d = time.Millisecond // the test networks' δ
+
+// ftConfig returns a network config with fault tolerance enabled.
+func ftConfig(p int) Config {
+	return Config{
+		P:     p,
+		Delay: FixedDelay(d),
+		Node: core.Config{
+			FT:             true,
+			Delta:          d,
+			CSEstimate:     d,
+			SuspicionSlack: d / 2,
+		},
+	}
+}
+
+// TestDeadRootTokenRegeneration kills the root holding the idle token; a
+// requester must detect the loss via search_father, become the root and
+// regenerate the token.
+func TestDeadRootTokenRegeneration(t *testing.T) {
+	w, err := New(ftConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Fail(0, 0)
+	w.RequestCS(3, d)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", w.Grants())
+	}
+	if w.Regenerations() != 1 {
+		t.Errorf("regenerations = %d, want 1", w.Regenerations())
+	}
+	if w.LiveTokens() != 1 {
+		t.Errorf("live tokens = %d, want 1", w.LiveTokens())
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+	// A later requester with a dead father must also recover and be served.
+	w.RequestCS(1, 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("second request did not quiesce")
+	}
+	if w.Grants() != 2 {
+		t.Errorf("grants = %d, want 2", w.Grants())
+	}
+	if w.Regenerations() != 1 {
+		t.Errorf("regenerations after second request = %d, want still 1", w.Regenerations())
+	}
+}
+
+// TestEnquirySourceDiesInCS: the root lends the token directly to the
+// source, which dies inside its critical section. The root's return
+// timeout fires, the enquiry goes unanswered, and the root regenerates
+// the token.
+func TestEnquirySourceDiesInCS(t *testing.T) {
+	cfg := ftConfig(2)
+	cfg.CSTime = func(*rand.Rand) time.Duration { return 50 * d }
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestCS(1, 0) // root 0 lends directly to source 1 (proxy behavior)
+	w.Eng.RunUntil(5 * d)
+	if !w.Node(1).InCS() {
+		t.Fatal("setup: node 1 not in CS")
+	}
+	w.Fail(1, 0) // dies holding the token
+	w.RequestCS(2, d)
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Regenerations() != 1 {
+		t.Errorf("regenerations = %d, want 1", w.Regenerations())
+	}
+	if w.Grants() != 2 { // node 1's grant plus node 2's
+		t.Errorf("grants = %d, want 2", w.Grants())
+	}
+	if w.LiveTokens() != 1 {
+		t.Errorf("live tokens = %d", w.LiveTokens())
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+}
+
+// TestEnquiryStillInCS: the source's critical section overruns the
+// estimate e; the root enquires, the source answers "in CS", and the root
+// keeps waiting — no regeneration, no duplicate token.
+func TestEnquiryStillInCS(t *testing.T) {
+	cfg := ftConfig(2)
+	cfg.CSTime = func(*rand.Rand) time.Duration { return 40 * d } // >> e
+	rec := &trace.Recorder{}
+	cfg.Recorder = rec
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestCS(1, 0)
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Regenerations() != 0 {
+		t.Errorf("regenerations = %d, want 0 (suspicion was ill-founded)", w.Regenerations())
+	}
+	if rec.Kind("enquiry") == 0 {
+		t.Error("no enquiry sent despite overdue return")
+	}
+	if rec.Kind("enquiry-reply") == 0 {
+		t.Error("no enquiry reply")
+	}
+	if w.Grants() != 1 || w.LiveTokens() != 1 || w.Violations() != 0 {
+		t.Errorf("grants=%d tokens=%d violations=%d", w.Grants(), w.LiveTokens(), w.Violations())
+	}
+}
+
+// TestEnquiryTokenLostInFlight: the root lends to a proxy that dies before
+// forwarding the token. The source answers the enquiry with "token lost"
+// and the root regenerates; the source is eventually served.
+func TestEnquiryTokenLostInFlight(t *testing.T) {
+	w, err := New(ftConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 10 (pos 9) requests through proxy 9 (pos 8); kill the proxy
+	// just before the token reaches it.
+	w.RequestCS(lbl(10), 0)
+	w.Fail(lbl(9), 2*d+d/2) // request 10→9 at δ, 9→1 at 2δ, token 1→9 in flight
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", w.Grants())
+	}
+	if w.Regenerations() != 1 {
+		t.Errorf("regenerations = %d, want 1", w.Regenerations())
+	}
+	if w.LiveTokens() != 1 || w.Violations() != 0 {
+		t.Errorf("tokens=%d violations=%d", w.LiveTokens(), w.Violations())
+	}
+}
+
+// TestPaperSection5Scenario replays the paper's Section 5 worked example
+// on the 16-open-cube: node 9 fails; nodes 10 and 12 suspect it
+// concurrently; 12 adopts 10 through the early-adoption rule; 10 climbs
+// to phase 4 and attaches to node 1, becomes root; then node 9 recovers
+// as a leaf under 10, and node 13's request raises an anomaly that
+// reattaches 13 to 10.
+func TestPaperSection5Scenario(t *testing.T) {
+	searches := map[ocube.Pos][]core.SearchEnded{}
+	cfg := ftConfig(4)
+	cfg.OnEffect = func(node ocube.Pos, e core.Effect) {
+		if se, ok := e.(core.SearchEnded); ok {
+			searches[node] = append(searches[node], se)
+		}
+	}
+	rec := &trace.Recorder{}
+	cfg.Recorder = rec
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 9 fails; 10 and 12 request (12 slightly later so that it is
+	// still in search phase 1 when 10's phase-2 test arrives, as in the
+	// paper's interleaving).
+	w.Fail(lbl(9), 0)
+	w.RequestCS(lbl(10), d)
+	w.RequestCS(lbl(12), 4*d)
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce after concurrent searches")
+	}
+
+	// Both requests served, exactly one token regeneration cannot have
+	// happened (node 1 held the token and was alive throughout).
+	if w.Grants() != 2 {
+		t.Fatalf("grants = %d, want 2", w.Grants())
+	}
+	if w.Regenerations() != 0 {
+		t.Errorf("regenerations = %d, want 0", w.Regenerations())
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+
+	// 12's search concluded with father 10 (early adoption); 10's search
+	// concluded with father 1 after testing phases 1..4.
+	if got := searches[lbl(12)]; len(got) != 1 || got[0].Father != lbl(10) {
+		t.Errorf("node 12 searches = %+v, want one ending at father 10", got)
+	}
+	if got := searches[lbl(10)]; len(got) != 1 || got[0].Father != lbl(1) {
+		t.Errorf("node 10 searches = %+v, want one ending at father 1", got)
+	} else if got[0].Tested != 1+2+4+8 {
+		t.Errorf("node 10 tested %d nodes, want 15 (phases 1-4)", got[0].Tested)
+	}
+
+	// After being served, 10 is the root (power(1)=4 = dist(1,10), so node
+	// 1 gave the token up).
+	if got := w.Node(lbl(10)).Father(); got != ocube.None {
+		t.Fatalf("node 10 father = %v, want root", got)
+	}
+	if !w.Node(lbl(10)).TokenHere() {
+		t.Fatal("node 10 should hold the token")
+	}
+
+	// Node 9 recovers and rejoins as a leaf: search from phase 1 finds 10.
+	w.Recover(lbl(9), 0)
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce after recovery")
+	}
+	if got := w.Node(lbl(9)).Father(); got != lbl(10) {
+		t.Fatalf("recovered node 9 father = %v, want 10", got)
+	}
+	if p := w.Node(lbl(9)).Power(); p != 0 {
+		t.Errorf("recovered node 9 power = %d, want 0 (leaf)", p)
+	}
+
+	// Node 13 still points at 9; its request must raise an anomaly
+	// (power(9)=0 < dist(9,13)=3) and 13 must reattach to 10 via a search
+	// starting at phase 3.
+	w.RequestCS(lbl(13), 0)
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce after anomaly repair")
+	}
+	if rec.Kind("anomaly") == 0 {
+		t.Error("no anomaly message was sent")
+	}
+	if got := searches[lbl(13)]; len(got) != 1 || got[0].Father != lbl(10) {
+		t.Errorf("node 13 searches = %+v, want one ending at father 10", got)
+	} else if got[0].Tested != 4 {
+		t.Errorf("node 13 tested %d nodes, want 4 (single phase 3)", got[0].Tested)
+	}
+	if w.Grants() != 3 {
+		t.Errorf("grants = %d, want 3", w.Grants())
+	}
+	if w.Violations() != 0 || w.LiveTokens() != 1 {
+		t.Errorf("violations=%d tokens=%d", w.Violations(), w.LiveTokens())
+	}
+}
+
+// TestConcurrentEqualPhaseTieBreak builds the paper's "di = dj" conflict:
+// two power-0 nodes search concurrently at the same phase after their
+// fathers (including the token-holding root) died. With the identity
+// ordering, the smaller node wins the election, regenerates exactly one
+// token and serves the other; the ablation (ordering disabled) produces
+// the paper's inconsistency — double roots with duplicated tokens, a
+// safety violation, or a non-converging search storm.
+func TestConcurrentEqualPhaseTieBreak(t *testing.T) {
+	run := func(disable bool) (*Network, bool) {
+		cfg := ftConfig(2)
+		cfg.Node.DisableTieBreak = disable
+		cfg.CSTime = func(*rand.Rand) time.Duration { return 20 * d }
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fail both fathers: pos1 and pos3 (dist 2 apart, both power 0)
+		// then let them suspect concurrently.
+		w.Fail(0, 0)
+		w.Fail(2, 0)
+		w.RequestCS(1, d)
+		w.RequestCS(3, d)
+		quiesced := w.RunUntilQuiescent(5 * time.Second)
+		return w, quiesced
+	}
+
+	safe, quiesced := run(false)
+	if !quiesced {
+		t.Fatal("tie-break on: did not quiesce")
+	}
+	if safe.Violations() != 0 {
+		t.Errorf("tie-break on: violations = %d, want 0", safe.Violations())
+	}
+	if safe.Regenerations() != 1 {
+		t.Errorf("tie-break on: regenerations = %d, want 1", safe.Regenerations())
+	}
+	if safe.Grants() != 2 {
+		t.Errorf("tie-break on: grants = %d, want 2", safe.Grants())
+	}
+	if safe.LiveTokens() != 1 {
+		t.Errorf("tie-break on: tokens = %d, want 1", safe.LiveTokens())
+	}
+
+	unsafe, uq := run(true)
+	consistent := uq && unsafe.Violations() == 0 && unsafe.LiveTokens() == 1 &&
+		unsafe.Regenerations() <= 1 && unsafe.Grants() == 2
+	if consistent {
+		t.Error("tie-break off: run stayed consistent; expected the paper's inconsistency to surface")
+	}
+}
+
+// TestEarlyAdoptAblation compares the section-5 concurrent-search scenario
+// with and without the di<dj early-adoption optimization: both must stay
+// correct; the optimized run must not test more nodes.
+func TestEarlyAdoptAblation(t *testing.T) {
+	run := func(disable bool) (grants int64, tested int) {
+		cfg := ftConfig(4)
+		cfg.Node.DisableEarlyAdopt = disable
+		cfg.OnEffect = func(_ ocube.Pos, e core.Effect) {
+			if se, ok := e.(core.SearchEnded); ok {
+				tested += se.Tested
+			}
+		}
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Fail(lbl(9), 0)
+		w.RequestCS(lbl(10), d)
+		w.RequestCS(lbl(12), 4*d)
+		if !w.RunUntilQuiescent(10 * time.Minute) {
+			t.Fatal("did not quiesce")
+		}
+		if w.Violations() != 0 {
+			t.Errorf("disable=%v: violations %d", disable, w.Violations())
+		}
+		return w.Grants(), tested
+	}
+	gOn, testedOn := run(false)
+	gOff, testedOff := run(true)
+	if gOn != 2 || gOff != 2 {
+		t.Errorf("grants = %d/%d, want 2/2", gOn, gOff)
+	}
+	if testedOn > testedOff {
+		t.Errorf("early-adopt tested %d nodes, ablation %d; optimization should not test more", testedOn, testedOff)
+	}
+}
+
+// TestRecoveredNodeServesTraffic: after recovery and reattachment, the
+// recovered node must be able to route requests again.
+func TestRecoveredNodeServesTraffic(t *testing.T) {
+	w, err := New(ftConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Fail(4, 0)          // paper node 5 (power 2) dies
+	w.RequestCS(5, d)     // its son, node 6, must recover via search
+	w.Recover(4, 400*d)   // then 5 comes back as a leaf
+	w.RequestCS(4, 500*d) // and must itself acquire the CS
+	w.RequestCS(6, 600*d) // and others keep working
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 3 {
+		t.Errorf("grants = %d, want 3", w.Grants())
+	}
+	if w.Violations() != 0 || w.LiveTokens() != 1 {
+		t.Errorf("violations=%d tokens=%d", w.Violations(), w.LiveTokens())
+	}
+}
+
+// TestNonPowerOfTwoMembership exercises the DESIGN.md extension: an
+// N-node system with N not a power of two runs as the next larger cube
+// with the missing positions permanently failed.
+func TestNonPowerOfTwoMembership(t *testing.T) {
+	w, err := New(ftConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alive: {0,1,2,3,6,7}; positions 4 and 5 never exist.
+	w.Fail(4, 0)
+	w.Fail(5, 0)
+	// Node 7's father is 6 (alive) but 6's father is 4 (missing):
+	// request routing must recover through search_father.
+	w.RequestCS(7, d)
+	w.RequestCS(3, 2*d)
+	w.RequestCS(6, 3*d)
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 3 {
+		t.Errorf("grants = %d, want 3", w.Grants())
+	}
+	if w.Violations() != 0 || w.LiveTokens() != 1 {
+		t.Errorf("violations=%d tokens=%d", w.Violations(), w.LiveTokens())
+	}
+}
+
+// TestMultipleFailures kills several nodes at once (the network stays
+// connected through the simulator); all surviving requesters must
+// eventually be served with a single live token.
+func TestMultipleFailures(t *testing.T) {
+	w, err := New(ftConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root 1 and two internal nodes die together while holding no CS.
+	w.Fail(lbl(1), 0)
+	w.Fail(lbl(9), 0)
+	w.Fail(lbl(5), 0)
+	for i, label := range []int{10, 13, 6, 16, 2} {
+		w.RequestCS(lbl(label), time.Duration(i)*3*d)
+	}
+	if !w.RunUntilQuiescent(10 * time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 5 {
+		t.Errorf("grants = %d, want 5", w.Grants())
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+	if w.LiveTokens() != 1 {
+		t.Errorf("live tokens = %d, want 1", w.LiveTokens())
+	}
+	if w.Regenerations() != 1 { // the token died with root 1
+		t.Errorf("regenerations = %d, want 1", w.Regenerations())
+	}
+}

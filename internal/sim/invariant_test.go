@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/trace"
+)
+
+// runRandomWorkload drives a failure-free random workload and returns the
+// network and recorder after quiescence.
+func runRandomWorkload(t *testing.T, p int, requests int, seed int64, pol core.Policy) (*Network, *trace.Recorder) {
+	t.Helper()
+	rec := &trace.Recorder{}
+	rng := rand.New(rand.NewSource(seed))
+	w, err := New(Config{
+		P:        p,
+		Seed:     seed,
+		Delay:    UniformDelay(time.Millisecond, 5*time.Millisecond),
+		Recorder: rec,
+		Node:     core.Config{Policy: pol},
+		CSTime: func(r *rand.Rand) time.Duration {
+			return time.Duration(r.Int63n(int64(3 * time.Millisecond)))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.N()
+	for i := 0; i < requests; i++ {
+		node := ocube.Pos(rng.Intn(n))
+		at := time.Duration(rng.Int63n(int64(100 * time.Millisecond)))
+		w.RequestCS(node, at)
+	}
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("random workload did not quiesce")
+	}
+	return w, rec
+}
+
+// TestPropertyRandomWorkloadInvariants is the central failure-free
+// property test: for random cubes, schedules and non-FIFO delays, the
+// algorithm must (a) never overlap critical sections, (b) serve every
+// request (liveness; duplicate requests from one node are rejected, so
+// grants can be lower than asked), (c) keep exactly one token, (d) leave
+// the tree a valid open-cube at quiescence, and (e) respect the paper's
+// aggregate message bound grants·(log2 N + 1).
+func TestPropertyRandomWorkloadInvariants(t *testing.T) {
+	f := func(seed int64, pRaw, reqRaw uint8) bool {
+		p := 1 + int(pRaw%5) // N in 2..32
+		requests := 3 + int(reqRaw%40)
+		w, rec := runRandomWorkload(t, p, requests, seed, nil)
+		if w.Violations() != 0 {
+			t.Logf("seed %d: %d violations", seed, w.Violations())
+			return false
+		}
+		if w.Grants() == 0 {
+			t.Logf("seed %d: no grants at all", seed)
+			return false
+		}
+		if w.LiveTokens() != 1 {
+			t.Logf("seed %d: %d live tokens", seed, w.LiveTokens())
+			return false
+		}
+		if err := w.Snapshot().Validate(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// The paper's log2(N)+1 bound is per request in the sequential
+		// analysis (checked strictly by TestSequentialWorstCaseBound); a
+		// request that races a b-transformation in progress can cost one
+		// extra hop, so the concurrent aggregate allows that slack.
+		bound := int64(w.Grants()) * int64(ocube.WorstCaseMessages(w.N())+1)
+		if rec.Total() > bound {
+			t.Logf("seed %d: %d messages > bound %d for %d grants",
+				seed, rec.Total(), bound, w.Grants())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySchemePoliciesSafeAndLive checks that the Raymond and
+// Naimi-Trehel scheme instances, running on the identical engine, also
+// guarantee mutual exclusion and liveness (their trees need not remain
+// open-cubes — only the open-cube policy maintains that invariant).
+func TestPropertySchemePoliciesSafeAndLive(t *testing.T) {
+	pols := []core.Policy{core.RaymondPolicy{}, core.NaimiTrehelPolicy{}}
+	f := func(seed int64, pRaw, reqRaw, polRaw uint8) bool {
+		p := 1 + int(pRaw%4)
+		requests := 3 + int(reqRaw%25)
+		pol := pols[int(polRaw)%len(pols)]
+		w, _ := runRandomWorkload(t, p, requests, seed, pol)
+		if w.Violations() != 0 || w.Grants() == 0 || w.LiveTokens() != 1 {
+			t.Logf("seed %d policy %s: grants=%d tokens=%d violations=%d",
+				seed, pol.Name(), w.Grants(), w.LiveTokens(), w.Violations())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFailureRecovery is the randomized failure soak: random
+// workload plus one random fail-stop (of a node that is not the current
+// CS occupant's only hope — any node may fail) followed by recovery.
+// Afterwards the system must be live, safe, and hold exactly one token.
+func TestPropertyFailureRecovery(t *testing.T) {
+	f := func(seed int64, pRaw, victimRaw uint8) bool {
+		p := 2 + int(pRaw%3) // N in 4..16
+		cfg := ftConfig(p)
+		cfg.Seed = seed
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := w.N()
+		victim := ocube.Pos(int(victimRaw) % n)
+		// A burst of requests, a failure in the middle, recovery later.
+		for i := 0; i < 6; i++ {
+			w.RequestCS(ocube.Pos(rng.Intn(n)), time.Duration(rng.Int63n(int64(20*d))))
+		}
+		w.Fail(victim, time.Duration(rng.Int63n(int64(10*d))))
+		w.Recover(victim, 2000*d)
+		// Post-recovery traffic, including from the victim itself.
+		w.RequestCS(victim, 2200*d)
+		for i := 0; i < 4; i++ {
+			w.RequestCS(ocube.Pos(rng.Intn(n)), 2300*d+time.Duration(rng.Int63n(int64(50*d))))
+		}
+		if !w.RunUntilQuiescent(time.Hour) {
+			t.Logf("seed %d victim %v: no quiescence", seed, victim)
+			return false
+		}
+		if w.Violations() != 0 {
+			t.Logf("seed %d victim %v: %d violations", seed, victim, w.Violations())
+			return false
+		}
+		if w.LiveTokens() != 1 {
+			t.Logf("seed %d victim %v: %d live tokens", seed, victim, w.LiveTokens())
+			return false
+		}
+		// Liveness: the post-recovery requests must all have been served;
+		// grants is at least the 5 post-recovery ones.
+		if w.Grants() < 5 {
+			t.Logf("seed %d victim %v: grants=%d", seed, victim, w.Grants())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSequentialWorstCaseBound checks the per-request worst case (E1)
+// with requests issued one at a time from a quiescent system.
+//
+// Reproduction note: the paper claims log2(N)+1, but its own pseudocode
+// costs log2(N)+2 when a tight branch ends in a non-boundary edge and the
+// root behaves transit: the paper's count misses the token-return message
+// in that corner (e.g. c(6)=5 on the pristine 8-cube — request 6→5,
+// request 5→1, token 1→5, token 5→6, return 6→5 — while its α3=24
+// recurrence does include such cases). The strict measured bound is
+// therefore log2(N)+2; EXPERIMENTS.md discusses the discrepancy.
+func TestSequentialWorstCaseBound(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := 1 + int(pRaw%5)
+		rng := rand.New(rand.NewSource(seed))
+		rec := &trace.Recorder{}
+		w, err := New(Config{P: p, Seed: seed, Recorder: rec,
+			Delay: UniformDelay(time.Millisecond, 3*time.Millisecond)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := int64(ocube.WorstCaseMessages(w.N()) + 1) // log2(N)+2, see note above
+		for i := 0; i < 20; i++ {
+			before := rec.Total()
+			node := ocube.Pos(rng.Intn(w.N()))
+			w.RequestCS(node, 0)
+			if !w.RunUntilQuiescent(time.Hour) {
+				t.Logf("seed %d: no quiescence", seed)
+				return false
+			}
+			if got := rec.Total() - before; got > bound {
+				t.Logf("seed %d: request %d from %v cost %d > %d",
+					seed, i, node, got, bound)
+				return false
+			}
+			if err := w.Snapshot().Validate(); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRepeatedRequestsFromOneNode checks queue fairness and the busy
+// error: a node can re-enter the critical section repeatedly, and
+// overlapping RequestCS calls are rejected without corrupting state.
+func TestRepeatedRequestsFromOneNode(t *testing.T) {
+	w, err := New(Config{P: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w.RequestCS(6, time.Duration(i)*50*time.Millisecond)
+	}
+	// Duplicate while the first is pending: rejected by ErrBusy inside the
+	// driver (logged, not crashing).
+	w.RequestCS(6, time.Microsecond)
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 5 {
+		t.Errorf("grants = %d, want 5", w.Grants())
+	}
+	if err := w.Snapshot().Validate(); err != nil {
+		t.Errorf("final tree: %v", err)
+	}
+}
+
+// TestEveryNodeAcquiresOnce sweeps the full membership: every node of a
+// 32-cube requests once, concurrently; all must be granted exactly once
+// and the final structure must validate.
+func TestEveryNodeAcquiresOnce(t *testing.T) {
+	rec := &trace.Recorder{}
+	w, err := New(Config{
+		P:        5,
+		Delay:    UniformDelay(time.Millisecond, 4*time.Millisecond),
+		Seed:     42,
+		Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.N(); i++ {
+		w.RequestCS(ocube.Pos(i), time.Duration(i%7)*time.Millisecond)
+	}
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not quiesce")
+	}
+	if got, want := w.Grants(), int64(w.N()); got != want {
+		t.Errorf("grants = %d, want %d", got, want)
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+	if err := w.Snapshot().Validate(); err != nil {
+		t.Errorf("final tree: %v", err)
+	}
+	bound := int64(w.N()) * int64(ocube.WorstCaseMessages(w.N())+1)
+	if rec.Total() > bound {
+		t.Errorf("total = %d messages > aggregate bound %d", rec.Total(), bound)
+	}
+}
+
+// TestQuiescenceDetection ensures Busy reflects in-flight work and
+// pending operations.
+func TestQuiescenceDetection(t *testing.T) {
+	w, err := New(Config{P: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Busy() {
+		t.Error("fresh network reported busy")
+	}
+	w.RequestCS(3, time.Millisecond)
+	if !w.Busy() {
+		t.Error("network with scheduled request reported idle")
+	}
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Busy() {
+		t.Error("quiescent network reported busy")
+	}
+}
+
+// TestDelayModels sanity-checks the built-in delay models.
+func TestDelayModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fd := FixedDelay(3 * time.Millisecond)
+	if got := fd(rng, 0, 1); got != 3*time.Millisecond {
+		t.Errorf("FixedDelay = %v", got)
+	}
+	ud := UniformDelay(time.Millisecond, 2*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		got := ud(rng, 0, 1)
+		if got < time.Millisecond || got > 2*time.Millisecond {
+			t.Fatalf("UniformDelay out of range: %v", got)
+		}
+	}
+	if got := UniformDelay(5*time.Millisecond, time.Millisecond)(rng, 0, 1); got != 5*time.Millisecond {
+		t.Errorf("degenerate UniformDelay = %v, want min", got)
+	}
+}
+
+// TestNewNetworkValidation covers constructor errors.
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := New(Config{P: -1}); err == nil {
+		t.Error("New(P=-1) succeeded")
+	}
+	if _, err := New(Config{P: 21}); err == nil {
+		t.Error("New(P=21) succeeded")
+	}
+	if _, err := New(Config{P: 2, Node: core.Config{FT: true}}); err == nil {
+		t.Error("New with FT but no Delta succeeded")
+	}
+}

@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/trace"
+)
+
+// DelayFn draws the transmission delay for one message. Implementations
+// must never exceed the δ configured on the nodes when fault tolerance is
+// enabled, or the failure machinery's timeouts become unsound.
+type DelayFn func(rng *rand.Rand, from, to ocube.Pos) time.Duration
+
+// FixedDelay returns a constant-delay model (FIFO per channel and
+// globally deterministic ordering).
+func FixedDelay(d time.Duration) DelayFn {
+	return func(*rand.Rand, ocube.Pos, ocube.Pos) time.Duration { return d }
+}
+
+// UniformDelay draws uniformly from [min, max]; with min < max, channels
+// are not FIFO, matching the paper's weakest channel assumption.
+func UniformDelay(min, max time.Duration) DelayFn {
+	return func(rng *rand.Rand, _, _ ocube.Pos) time.Duration {
+		if max <= min {
+			return min
+		}
+		return min + time.Duration(rng.Int63n(int64(max-min+1)))
+	}
+}
+
+// Config describes a simulated network of 2^P nodes.
+type Config struct {
+	// P is the cube order; the network has 2^P nodes.
+	P int
+	// Node is the per-node configuration template; Self is filled in per
+	// node. Leave Policy nil for the open-cube algorithm.
+	Node core.Config
+	// Delay models message transmission; nil means FixedDelay(1ms).
+	Delay DelayFn
+	// Seed seeds the run's random generator.
+	Seed int64
+	// CSTime is the simulated critical-section duration; granted nodes
+	// release after this long. Nil means release immediately.
+	CSTime func(rng *rand.Rand) time.Duration
+	// Recorder, when set, tallies every sent message.
+	Recorder *trace.Recorder
+	// OnEffect, when set, observes every effect any node emits.
+	OnEffect func(node ocube.Pos, e core.Effect)
+	// Logf, when set, receives a line per simulator action (debugging).
+	Logf func(format string, args ...any)
+}
+
+// Network binds 2^P core.Node state machines to an Engine.
+type Network struct {
+	Eng *Engine
+
+	cfg   Config
+	n     int
+	nodes []*core.Node
+	down  []bool
+	rng   *rand.Rand
+
+	onGrant func(ocube.Pos)
+
+	inflight       int // undelivered messages
+	inflightTokens int // undelivered token messages
+	pendingOps     int // scheduled RequestCS / auto-release events
+	grants         int64
+	violations     int64 // simultaneous critical sections observed
+	regenerations  int64
+	lostToFailed   int64 // messages dropped at failed destinations
+	inCS           int
+}
+
+// New builds the network with every node in the pristine open-cube state.
+func New(cfg Config) (*Network, error) {
+	if cfg.P < 0 || cfg.P > 20 {
+		return nil, fmt.Errorf("sim: P=%d out of range", cfg.P)
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = FixedDelay(time.Millisecond)
+	}
+	n := 1 << cfg.P
+	w := &Network{
+		Eng:   &Engine{},
+		cfg:   cfg,
+		n:     n,
+		nodes: make([]*core.Node, n),
+		down:  make([]bool, n),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < n; i++ {
+		nc := cfg.Node
+		nc.Self = ocube.Pos(i)
+		nc.P = cfg.P
+		node, err := core.NewNode(nc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: node %d: %w", i, err)
+		}
+		w.nodes[i] = node
+	}
+	return w, nil
+}
+
+// N returns the node count.
+func (w *Network) N() int { return w.n }
+
+// Node exposes a node's state machine for inspection.
+func (w *Network) Node(x ocube.Pos) *core.Node { return w.nodes[x] }
+
+// Down reports whether x is currently failed.
+func (w *Network) Down(x ocube.Pos) bool { return w.down[x] }
+
+// Grants returns the number of critical-section entries so far.
+func (w *Network) Grants() int64 { return w.grants }
+
+// Violations returns how many grants overlapped another critical section —
+// zero in every safe run; the tie-break ablation makes this observable.
+func (w *Network) Violations() int64 { return w.violations }
+
+// Regenerations returns the number of token regenerations.
+func (w *Network) Regenerations() int64 { return w.regenerations }
+
+// LiveTokens counts tokens held by up nodes plus tokens in flight.
+func (w *Network) LiveTokens() int {
+	held := 0
+	for i, node := range w.nodes {
+		if !w.down[i] && node.TokenHere() {
+			held++
+		}
+	}
+	return held + w.inflightTokens
+}
+
+// logf writes a debug line when configured.
+func (w *Network) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf("[%8s] "+format, append([]any{w.Eng.Now()}, args...)...)
+	}
+}
+
+// RequestCS schedules node x's wish to enter the critical section after
+// delay d of virtual time.
+func (w *Network) RequestCS(x ocube.Pos, d time.Duration) {
+	w.pendingOps++
+	w.Eng.After(d, func() {
+		w.pendingOps--
+		if w.down[x] {
+			return
+		}
+		effs, err := w.nodes[x].RequestCS()
+		if err != nil {
+			w.logf("node %v RequestCS: %v", x, err)
+			return
+		}
+		w.logf("node %v requests CS", x)
+		w.apply(x, effs)
+	})
+}
+
+// Fail crashes node x after delay d: it stops processing and every
+// message in flight towards it is lost.
+func (w *Network) Fail(x ocube.Pos, d time.Duration) {
+	w.pendingOps++
+	w.Eng.After(d, func() {
+		w.pendingOps--
+		if w.down[x] {
+			return
+		}
+		if w.nodes[x].InCS() {
+			w.inCS--
+		}
+		w.down[x] = true
+		w.logf("node %v FAILS", x)
+	})
+}
+
+// Recover restarts node x after delay d; it rejoins via search_father.
+func (w *Network) Recover(x ocube.Pos, d time.Duration) {
+	w.pendingOps++
+	w.Eng.After(d, func() {
+		w.pendingOps--
+		if !w.down[x] {
+			return
+		}
+		w.down[x] = false
+		w.logf("node %v RECOVERS", x)
+		w.apply(x, w.nodes[x].Recover())
+	})
+}
+
+// apply executes a node's effects: sends become future deliveries, timers
+// become future HandleTimer calls, grants schedule the simulated critical
+// section.
+func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
+	for _, e := range effs {
+		if w.cfg.OnEffect != nil {
+			w.cfg.OnEffect(x, e)
+		}
+		switch e := e.(type) {
+		case core.Send:
+			w.deliver(e.Msg)
+		case core.StartTimer:
+			kind, gen := e.Kind, e.Gen
+			w.Eng.After(e.Delay, func() {
+				if w.down[x] {
+					return
+				}
+				w.apply(x, w.nodes[x].HandleTimer(kind, gen))
+			})
+		case core.Grant:
+			w.enterCS(x)
+		case core.TokenRegenerated:
+			w.regenerations++
+			w.logf("node %v regenerates token: %s", x, e.Reason)
+		case core.Dropped:
+			w.logf("node %v drops %v: %s", x, e.Msg, e.Reason)
+			if e.Msg.Kind == core.KindToken {
+				// An intentionally sacrificed token is no longer live.
+			}
+		case core.BecameRoot:
+			w.logf("node %v becomes root: %s", x, e.Reason)
+		case core.SearchStarted:
+			w.logf("node %v starts search_father at phase %d", x, e.Phase)
+		case core.SearchEnded:
+			w.logf("node %v ends search_father: father=%v tested=%d", x, e.Father, e.Tested)
+		}
+	}
+}
+
+// deliver schedules the transmission of m.
+func (w *Network) deliver(m Message) {
+	d := w.cfg.Delay(w.rng, m.From, m.To)
+	w.record(m)
+	w.inflight++
+	if m.Kind == core.KindToken {
+		w.inflightTokens++
+	}
+	w.logf("send %v (delay %v)", m, d)
+	w.Eng.After(d, func() {
+		w.inflight--
+		if m.Kind == core.KindToken {
+			w.inflightTokens--
+		}
+		if w.down[m.To] {
+			w.lostToFailed++
+			w.logf("LOST at failed node: %v", m)
+			return
+		}
+		w.apply(m.To, w.nodes[m.To].HandleMessage(m))
+	})
+}
+
+// Message is re-exported for DelayFn implementors' convenience.
+type Message = core.Message
+
+// OnGrant registers a callback invoked at every critical-section entry.
+// Set it before running.
+func (w *Network) OnGrant(fn func(ocube.Pos)) { w.onGrant = fn }
+
+// enterCS accounts a grant and schedules the release.
+func (w *Network) enterCS(x ocube.Pos) {
+	w.grants++
+	if w.onGrant != nil {
+		w.onGrant(x)
+	}
+	w.inCS++
+	if w.inCS > 1 {
+		w.violations++
+		w.logf("SAFETY VIOLATION: %d nodes in CS", w.inCS)
+	}
+	var dur time.Duration
+	if w.cfg.CSTime != nil {
+		dur = w.cfg.CSTime(w.rng)
+	}
+	w.pendingOps++
+	w.Eng.After(dur, func() {
+		w.pendingOps--
+		if w.down[x] {
+			return
+		}
+		w.inCS--
+		effs, err := w.nodes[x].ReleaseCS()
+		if err != nil {
+			w.logf("node %v ReleaseCS: %v", x, err)
+			return
+		}
+		w.logf("node %v releases CS", x)
+		w.apply(x, effs)
+	})
+}
+
+// record tallies a sent message with the run's recorder.
+func (w *Network) record(m Message) {
+	if w.cfg.Recorder == nil {
+		return
+	}
+	var class trace.Class
+	switch m.Kind {
+	case core.KindRequest:
+		class = trace.ClassRequest
+		if m.Regen {
+			class = trace.ClassControl
+		}
+	case core.KindToken:
+		class = trace.ClassToken
+	default:
+		class = trace.ClassControl
+	}
+	src := -1
+	if m.Kind == core.KindRequest || m.Kind == core.KindToken {
+		src = int(m.Source)
+	}
+	w.cfg.Recorder.Record(trace.Event{
+		Kind:   m.Kind.String(),
+		Class:  class,
+		From:   int(m.From),
+		To:     int(m.To),
+		Source: src,
+		Regen:  m.Regen,
+	})
+}
+
+// Busy reports whether any protocol activity is outstanding: in-flight
+// messages, scheduled operations, or nodes that are asking, queueing,
+// searching or in their critical section. Pending timers alone do not
+// make the network busy.
+func (w *Network) Busy() bool {
+	if w.inflight > 0 || w.pendingOps > 0 {
+		return true
+	}
+	for i, node := range w.nodes {
+		if w.down[i] {
+			continue
+		}
+		if node.Asking() || node.InCS() || node.QueueLen() > 0 || node.Searching() {
+			return true
+		}
+	}
+	return false
+}
+
+// RunUntilQuiescent steps until no protocol activity remains or virtual
+// time passes maxTime; it reports whether quiescence was reached.
+func (w *Network) RunUntilQuiescent(maxTime time.Duration) bool {
+	return w.Eng.RunWhile(w.Busy, maxTime)
+}
+
+// Snapshot copies the current father pointers into an ocube.Cube for
+// structural validation. Meaningful at quiescent instants with all nodes
+// up.
+func (w *Network) Snapshot() *ocube.Cube {
+	c := ocube.MustNew(w.cfg.P)
+	for i, node := range w.nodes {
+		c.SetFather(ocube.Pos(i), node.Father())
+	}
+	return c
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/trace"
+)
+
+// lbl converts the paper's 1-based node numbers.
+func lbl(n int) ocube.Pos { return ocube.FromLabel(n) }
+
+func TestSingleRequestOnTinyCube(t *testing.T) {
+	// N=2: node 2 requests; root 1 is transit (last son) and gives up the
+	// token: exactly 2 messages (the α1=2 base case).
+	rec := &trace.Recorder{}
+	w, err := New(Config{P: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestCS(1, 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", w.Grants())
+	}
+	if got := rec.Total(); got != 2 {
+		t.Errorf("messages = %d, want 2 (request + token)", got)
+	}
+	if w.Node(1).Father() != ocube.None || !w.Node(1).TokenHere() {
+		t.Error("node 2 should be the new root holding the token")
+	}
+	if w.Node(0).Father() != 1 {
+		t.Error("old root should point at node 2")
+	}
+	if err := w.Snapshot().Validate(); err != nil {
+		t.Errorf("final tree not an open-cube: %v", err)
+	}
+}
+
+// TestPaperSection32Scenario replays the worked example of Section 3.2 on
+// the 16-open-cube: node 1 has lent the token to node 6 (in its critical
+// section) when nodes 10 and 8 request concurrently; 10 is served before
+// 8. The test checks the paper's documented behaviors (who was proxy, who
+// was transit, who lent), the per-request message complexities, and the
+// final tree of Figure 8.
+func TestPaperSection32Scenario(t *testing.T) {
+	const d = time.Millisecond
+	var msgs []core.Message
+	var grants []ocube.Pos
+	csN := 0
+	w, err := New(Config{
+		P:     4,
+		Delay: FixedDelay(d),
+		CSTime: func(*rand.Rand) time.Duration {
+			csN++
+			if csN == 1 {
+				return 30 * d // node 6 holds the CS while 10 and 8 request
+			}
+			return 0
+		},
+		OnEffect: func(node ocube.Pos, e core.Effect) {
+			switch e := e.(type) {
+			case core.Send:
+				msgs = append(msgs, e.Msg)
+			case core.Grant:
+				grants = append(grants, node)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Setup: node 6 enters its critical section on a loan from node 1.
+	w.RequestCS(lbl(6), 0)
+	w.Eng.RunUntil(10 * d)
+	if !w.Node(lbl(6)).InCS() {
+		t.Fatal("setup: node 6 not in CS")
+	}
+	if !w.Node(lbl(1)).Asking() {
+		t.Fatal("setup: node 1 (lender) must be asking until the token returns")
+	}
+	setupMsgs := len(msgs)
+
+	// The scenario: 10 requests, then 8, while 6 still holds the CS.
+	w.RequestCS(lbl(10), 0)
+	w.RequestCS(lbl(8), d/2)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+
+	// Grant order: 6, then 10, then 8 (the paper examines this order).
+	want := []ocube.Pos{lbl(6), lbl(10), lbl(8)}
+	if len(grants) != len(want) {
+		t.Fatalf("grants = %v, want %v", grants, want)
+	}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+
+	// Per-request message complexity (≤ log2(16)+1 = 5 each):
+	//   10: request 10→9, request 9→1, token 1→9, token 9→10, return 10→9
+	//    8: request 8→7, 7→5, 5→1, 1→9, token 9→8 (8 becomes root)
+	scenario := msgs[setupMsgs:]
+	count := map[ocube.Pos]int{}
+	for _, m := range scenario {
+		switch m.Kind {
+		case core.KindRequest, core.KindToken:
+			count[m.Source]++
+		default:
+			t.Errorf("unexpected control message in failure-free run: %v", m)
+		}
+	}
+	// The return of 6's loan (token 6→1) is attributed to source 6.
+	if got := count[lbl(6)]; got != 1 {
+		t.Errorf("return messages for node 6's CS = %d, want 1", got)
+	}
+	if got := count[lbl(10)]; got != 5 {
+		t.Errorf("c(10) = %d, want 5", got)
+	}
+	if got := count[lbl(8)]; got != 5 {
+		t.Errorf("c(8) = %d, want 5", got)
+	}
+
+	// The paper's behavior trail:
+	//   node 9 was proxy for 10 (it lent the token: token(9) 9→10);
+	//   node 7 and node 5 were transit for 8 (they forwarded request(8));
+	//   node 1 was transit twice (gave the token to 9; forwarded 8 to 9).
+	sawLend9to10 := false
+	sawForward1to9 := false
+	for _, m := range scenario {
+		if m.Kind == core.KindToken && m.From == lbl(9) && m.To == lbl(10) && m.Lender == lbl(9) {
+			sawLend9to10 = true
+		}
+		if m.Kind == core.KindRequest && m.From == lbl(1) && m.To == lbl(9) && m.Source == lbl(8) {
+			sawForward1to9 = true
+		}
+	}
+	if !sawLend9to10 {
+		t.Error("node 9 never lent the token to 10 (proxy behavior missing)")
+	}
+	if !sawForward1to9 {
+		t.Error("node 1 never forwarded request(8) to 9 (transit behavior missing)")
+	}
+
+	// Figure 8, the final configuration: 8 is the root; 1, 5, 7, 9 are its
+	// sons; 10 hangs under 9; everything else keeps its initial father.
+	finalFathers := map[int]int{ // paper numbering; 0 = nil
+		8: 0,
+		1: 8, 5: 8, 7: 8, 9: 8,
+		10: 9,
+		2:  1, 3: 1, 4: 3, 6: 5,
+		11: 9, 13: 9, 12: 11, 14: 13, 15: 13, 16: 15,
+	}
+	for node, father := range finalFathers {
+		wantF := ocube.None
+		if father != 0 {
+			wantF = lbl(father)
+		}
+		if got := w.Node(lbl(node)).Father(); got != wantF {
+			t.Errorf("final father(%d) = %v, want %v", node, got, wantF)
+		}
+	}
+	if !w.Node(lbl(8)).TokenHere() {
+		t.Error("node 8 must keep the token as the new root")
+	}
+	if err := w.Snapshot().Validate(); err != nil {
+		t.Errorf("figure-8 configuration not an open-cube: %v", err)
+	}
+	if w.Violations() != 0 {
+		t.Errorf("safety violations: %d", w.Violations())
+	}
+}
+
+// TestBoundaryPathTransformation reproduces Figure 9: a request from the
+// deepest leaf of an all-boundary branch flips the whole branch — the
+// requester becomes the root and every former ancestor its son.
+func TestBoundaryPathTransformation(t *testing.T) {
+	// In the pristine 16-cube the branch 16→15→13→9→1 consists solely of
+	// boundary edges, so every ancestor of 16 is transit.
+	w, err := New(Config{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestCS(lbl(16), 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if got := w.Node(lbl(16)).Father(); got != ocube.None {
+		t.Fatalf("node 16 should be root, has father %v", got)
+	}
+	for _, anc := range []int{15, 13, 9, 1} {
+		if got := w.Node(lbl(anc)).Father(); got != lbl(16) {
+			t.Errorf("father(%d) = %v, want 16", anc, got)
+		}
+	}
+	if err := w.Snapshot().Validate(); err != nil {
+		t.Errorf("after boundary-path flip: %v", err)
+	}
+	// And powers inverted: 16 now has power 4, the old root power 0... the
+	// old root keeps only its non-last sons (2, 3, 5).
+	if p := w.Snapshot().Power(lbl(16)); p != 4 {
+		t.Errorf("power(16) = %d, want 4", p)
+	}
+	if p := w.Snapshot().Power(lbl(1)); p != 3 {
+		t.Errorf("power(1) = %d, want 3 (lost its last son)", p)
+	}
+}
+
+// TestSchemeInstanceNaimiTrehel checks the always-transit policy performs
+// Naimi-Trehel-style path compression: after a request from x, every node
+// on the path points to x and x is the owner.
+func TestSchemeInstanceNaimiTrehel(t *testing.T) {
+	w, err := New(Config{P: 3, Node: core.Config{Policy: core.NaimiTrehelPolicy{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestCS(7, 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if !w.Node(7).TokenHere() {
+		t.Error("requester must own the token under always-transit")
+	}
+	// Path 7 -> 6 -> 4 -> 0: all must now point at 7.
+	for _, x := range []ocube.Pos{6, 4, 0} {
+		if got := w.Node(x).Father(); got != 7 {
+			t.Errorf("father(%v) = %v, want 7 (path compression)", x, got)
+		}
+	}
+}
+
+// TestSchemeInstanceRaymond checks the transit⇔token policy: the token
+// moves hop by hop through the proxy chain and returns to the first
+// grantee, never skipping links.
+func TestSchemeInstanceRaymond(t *testing.T) {
+	var tokenHops [][2]ocube.Pos
+	w, err := New(Config{
+		P:    3,
+		Node: core.Config{Policy: core.RaymondPolicy{}},
+		OnEffect: func(_ ocube.Pos, e core.Effect) {
+			if s, ok := e.(core.Send); ok && s.Msg.Kind == core.KindToken {
+				tokenHops = append(tokenHops, [2]ocube.Pos{s.Msg.From, s.Msg.To})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RequestCS(7, 0)
+	if !w.RunUntilQuiescent(time.Minute) {
+		t.Fatal("did not quiesce")
+	}
+	if w.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", w.Grants())
+	}
+	// Root 0 gives the token to its son 4 (transit, since it held the
+	// token); 4, 6 lend it down the chain; 7 returns it to the lender.
+	if len(tokenHops) < 3 {
+		t.Fatalf("token hops = %v, want hop-by-hop travel", tokenHops)
+	}
+	first := tokenHops[0]
+	if first != [2]ocube.Pos{0, 4} {
+		t.Errorf("first token hop = %v, want 0→4", first)
+	}
+}

@@ -1,0 +1,151 @@
+// Package trace records message traffic for the experiment harness.
+//
+// The recorder is algorithm-agnostic (the open-cube algorithm and the
+// Raymond / Naimi-Trehel baselines all report through it) and classifies
+// every message as request, token, or control traffic. Control traffic is
+// the paper's "overhead" class: failure-handling messages (test, answer,
+// enquiry, anomaly) plus regenerated requests, the quantity reported per
+// failure in Section 6.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Class partitions messages for accounting.
+type Class uint8
+
+const (
+	// ClassRequest is normal request routing traffic.
+	ClassRequest Class = iota + 1
+	// ClassToken is token movement (grants, lends, forwards, returns).
+	ClassToken
+	// ClassControl is failure-handling overhead (test/answer/enquiry/
+	// anomaly and regenerated requests).
+	ClassControl
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassToken:
+		return "token"
+	case ClassControl:
+		return "control"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Event describes one sent message.
+type Event struct {
+	Kind   string // protocol-specific message name, e.g. "request", "test"
+	Class  Class
+	From   int
+	To     int
+	Source int  // requester the message serves, or -1 if not applicable
+	Regen  bool // message re-issued by failure recovery
+}
+
+// Recorder tallies events. It is safe for concurrent use and the zero
+// value is ready to use.
+type Recorder struct {
+	mu       sync.Mutex
+	total    int64
+	byKind   map[string]int64
+	byClass  map[Class]int64
+	bySource map[int]int64
+	regen    int64
+}
+
+// Record tallies one event.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byKind == nil {
+		r.byKind = make(map[string]int64)
+		r.byClass = make(map[Class]int64)
+		r.bySource = make(map[int]int64)
+	}
+	r.total++
+	r.byKind[ev.Kind]++
+	r.byClass[ev.Class]++
+	if ev.Source >= 0 {
+		r.bySource[ev.Source]++
+	}
+	if ev.Regen {
+		r.regen++
+	}
+}
+
+// Total returns the number of recorded messages.
+func (r *Recorder) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Kind returns the count for one message kind.
+func (r *Recorder) Kind(kind string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byKind[kind]
+}
+
+// ClassCount returns the count for one class.
+func (r *Recorder) ClassCount(c Class) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byClass[c]
+}
+
+// Source returns the number of messages attributed to one requester.
+func (r *Recorder) Source(s int) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bySource[s]
+}
+
+// Regenerated returns the number of messages flagged as failure re-issues.
+func (r *Recorder) Regenerated() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.regen
+}
+
+// Overhead returns the paper's per-failure overhead numerator: all control
+// messages. Regenerated requests are already recorded as control class by
+// the drivers, so this is simply the control tally.
+func (r *Recorder) Overhead() int64 {
+	return r.ClassCount(ClassControl)
+}
+
+// Reset clears all tallies.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total, r.regen = 0, 0
+	r.byKind, r.byClass, r.bySource = nil, nil, nil
+}
+
+// String summarizes the tallies, kinds sorted alphabetically.
+func (r *Recorder) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kinds := make([]string, 0, len(r.byKind))
+	for k := range r.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var b strings.Builder
+	fmt.Fprintf(&b, "total=%d", r.total)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, r.byKind[k])
+	}
+	return b.String()
+}

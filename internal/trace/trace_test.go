@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderTallies(t *testing.T) {
+	var r Recorder
+	if r.Total() != 0 || r.String() != "total=0" {
+		t.Errorf("zero recorder: total=%d %q", r.Total(), r.String())
+	}
+	r.Record(Event{Kind: "request", Class: ClassRequest, From: 0, To: 1, Source: 2})
+	r.Record(Event{Kind: "token", Class: ClassToken, From: 1, To: 2, Source: 2})
+	r.Record(Event{Kind: "test", Class: ClassControl, From: 3, To: 4, Source: -1})
+	r.Record(Event{Kind: "request", Class: ClassControl, From: 3, To: 4, Source: 5, Regen: true})
+	if r.Total() != 4 {
+		t.Errorf("total = %d", r.Total())
+	}
+	if r.Kind("request") != 2 || r.Kind("token") != 1 {
+		t.Error("kind counts wrong")
+	}
+	if r.ClassCount(ClassControl) != 2 || r.Overhead() != 2 {
+		t.Errorf("control = %d overhead = %d", r.ClassCount(ClassControl), r.Overhead())
+	}
+	if r.Source(2) != 2 || r.Source(5) != 1 || r.Source(-1) != 0 {
+		t.Error("source attribution wrong")
+	}
+	if r.Regenerated() != 1 {
+		t.Errorf("regenerated = %d", r.Regenerated())
+	}
+	s := r.String()
+	if !strings.Contains(s, "total=4") || !strings.Contains(s, "request=2") {
+		t.Errorf("string = %q", s)
+	}
+	r.Reset()
+	if r.Total() != 0 || r.Kind("request") != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{ClassRequest, ClassToken, ClassControl, Class(9)} {
+		if c.String() == "" {
+			t.Error("empty class name")
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(Event{Kind: "request", Class: ClassRequest, Source: i % 4})
+				_ = r.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Errorf("total = %d", r.Total())
+	}
+}

@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+)
+
+// TCP is a Transport over TCP sockets with gob-encoded frames. Each node
+// listens on its own address and dials peers lazily; outbound connections
+// are cached and serialized per peer. Suitable for the multi-process
+// example; production hardening (TLS, reconnection backoff) is out of
+// scope for the reproduction.
+type TCP struct {
+	self  ocube.Pos
+	addrs map[ocube.Pos]string
+
+	listener net.Listener
+	inbox    chan core.Message
+
+	mu       sync.Mutex
+	conns    map[ocube.Pos]*peerConn
+	accepted map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCP starts a TCP transport for self, listening on addrs[self].
+func NewTCP(self ocube.Pos, addrs map[ocube.Pos]string) (*TCP, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for self %v", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		self:     self,
+		addrs:    make(map[ocube.Pos]string, len(addrs)),
+		listener: ln,
+		inbox:    make(chan core.Message, 1024),
+		conns:    make(map[ocube.Pos]*peerConn),
+		accepted: make(map[net.Conn]bool),
+	}
+	for k, v := range addrs {
+		t.addrs[k] = v
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m core.Message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		default:
+			// Inbox overflow: drop. The failure machinery treats a lost
+			// message like a transient fault and recovers.
+		}
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(m core.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	pc := t.conns[m.To]
+	if pc == nil {
+		addr, ok := t.addrs[m.To]
+		if !ok {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: no address for %v", m.To)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: dial %v: %w", m.To, err)
+		}
+		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+		t.conns[m.To] = pc
+	}
+	t.mu.Unlock()
+
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if err := pc.enc.Encode(m); err != nil {
+		// Drop the broken connection; the next Send re-dials.
+		t.mu.Lock()
+		if t.conns[m.To] == pc {
+			delete(t.conns, m.To)
+		}
+		t.mu.Unlock()
+		pc.conn.Close()
+		return fmt.Errorf("transport: send to %v: %w", m.To, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCP) Recv() <-chan core.Message { return t.inbox }
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[ocube.Pos]*peerConn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+
+	err := t.listener.Close()
+	for _, pc := range conns {
+		pc.conn.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return err
+}
+
+var _ Transport = (*TCP)(nil)

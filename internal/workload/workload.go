@@ -1,0 +1,112 @@
+// Package workload generates seeded request schedules for the experiment
+// harness: who asks for the critical section, and when. Schedules are
+// plain data so the same workload can drive the open-cube algorithm, the
+// scheme instances and the classic baselines identically.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Request is one scheduled critical-section wish.
+type Request struct {
+	Node int
+	At   time.Duration
+}
+
+// Uniform spreads count requests from uniformly random nodes over the
+// horizon. Per-node collisions are possible; drivers reject a node's
+// overlapping wishes, which models impatient re-requests.
+func Uniform(rng *rand.Rand, n, count int, horizon time.Duration) []Request {
+	out := make([]Request, count)
+	for i := range out {
+		out[i] = Request{
+			Node: rng.Intn(n),
+			At:   time.Duration(rng.Int63n(int64(horizon) + 1)),
+		}
+	}
+	sortSchedule(out)
+	return out
+}
+
+// Hotspot draws a fraction of requests from a small hot set of nodes and
+// the rest uniformly — the skewed-load scenario where the open-cube's
+// workload adaptivity (frequent requesters drift towards the root)
+// should pay off.
+func Hotspot(rng *rand.Rand, n, count int, horizon time.Duration, hotNodes int, hotFraction float64) []Request {
+	if hotNodes < 1 {
+		hotNodes = 1
+	}
+	if hotNodes > n {
+		hotNodes = n
+	}
+	out := make([]Request, count)
+	for i := range out {
+		node := rng.Intn(n)
+		if rng.Float64() < hotFraction {
+			node = rng.Intn(hotNodes)
+		}
+		out[i] = Request{
+			Node: node,
+			At:   time.Duration(rng.Int63n(int64(horizon) + 1)),
+		}
+	}
+	sortSchedule(out)
+	return out
+}
+
+// HotspotSet draws a fraction of requests uniformly from an explicit hot
+// node set and the rest uniformly from everyone — used by the adaptivity
+// experiment with hot nodes placed adversarially for a static tree.
+func HotspotSet(rng *rand.Rand, n, count int, horizon time.Duration, hot []int, hotFraction float64) []Request {
+	out := make([]Request, count)
+	for i := range out {
+		node := rng.Intn(n)
+		if len(hot) > 0 && rng.Float64() < hotFraction {
+			node = hot[rng.Intn(len(hot))]
+		}
+		out[i] = Request{
+			Node: node,
+			At:   time.Duration(rng.Int63n(int64(horizon) + 1)),
+		}
+	}
+	sortSchedule(out)
+	return out
+}
+
+// Poisson generates open-loop arrivals with the given mean inter-arrival
+// time until the horizon, each from a uniformly random node.
+func Poisson(rng *rand.Rand, n int, meanGap, horizon time.Duration) []Request {
+	var out []Request
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		if t > horizon {
+			break
+		}
+		out = append(out, Request{Node: rng.Intn(n), At: t})
+	}
+	return out
+}
+
+// RoundRobin has every node request exactly once, in positional order,
+// spaced by gap — the sequential sweep used by the exact-average
+// experiment.
+func RoundRobin(n int, gap time.Duration) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{Node: i, At: time.Duration(i) * gap}
+	}
+	return out
+}
+
+func sortSchedule(reqs []Request) {
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].At != reqs[j].At {
+			return reqs[i].At < reqs[j].At
+		}
+		return reqs[i].Node < reqs[j].Node
+	})
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUniformSortedAndInRange(t *testing.T) {
+	f := func(seed int64, nRaw, countRaw uint8) bool {
+		n := 1 + int(nRaw%32)
+		count := int(countRaw % 64)
+		rng := rand.New(rand.NewSource(seed))
+		reqs := Uniform(rng, n, count, time.Second)
+		if len(reqs) != count {
+			return false
+		}
+		for i, r := range reqs {
+			if r.Node < 0 || r.Node >= n || r.At < 0 || r.At > time.Second {
+				return false
+			}
+			if i > 0 && r.At < reqs[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHotspotFractionRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reqs := Hotspot(rng, 16, 1000, time.Second, 2, 0.75)
+	hot := 0
+	for _, r := range reqs {
+		if r.Node < 2 {
+			hot++
+		}
+	}
+	// 75% targeted + (2/16 of the remaining 25%) ≈ 78%; allow wide noise.
+	if hot < 650 || hot > 900 {
+		t.Errorf("hot requests = %d/1000, want ~780", hot)
+	}
+}
+
+func TestHotspotClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if got := Hotspot(rng, 4, 10, time.Second, 0, 1.0); len(got) != 10 {
+		t.Error("hotNodes=0 not clamped")
+	}
+	reqs := Hotspot(rng, 4, 50, time.Second, 99, 1.0)
+	for _, r := range reqs {
+		if r.Node < 0 || r.Node >= 4 {
+			t.Fatalf("node %d out of range with clamped hot set", r.Node)
+		}
+	}
+}
+
+func TestHotspotSetOnlyDrawsFromSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hot := []int{5, 9}
+	reqs := HotspotSet(rng, 16, 500, time.Second, hot, 1.0)
+	for _, r := range reqs {
+		if r.Node != 5 && r.Node != 9 {
+			t.Fatalf("node %d outside hot set with fraction 1.0", r.Node)
+		}
+	}
+	// Empty hot set degrades to uniform.
+	reqs = HotspotSet(rng, 16, 100, time.Second, nil, 1.0)
+	if len(reqs) != 100 {
+		t.Error("empty hot set broke generation")
+	}
+}
+
+func TestPoissonHorizonRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reqs := Poisson(rng, 8, 10*time.Millisecond, time.Second)
+	if len(reqs) == 0 {
+		t.Fatal("no arrivals")
+	}
+	for _, r := range reqs {
+		if r.At > time.Second {
+			t.Fatalf("arrival %v beyond horizon", r.At)
+		}
+	}
+	// Mean inter-arrival should be in the right ballpark: ~100 arrivals.
+	if len(reqs) < 40 || len(reqs) > 250 {
+		t.Errorf("arrivals = %d, want ≈100", len(reqs))
+	}
+}
+
+func TestRoundRobinShape(t *testing.T) {
+	reqs := RoundRobin(4, 5*time.Millisecond)
+	if len(reqs) != 4 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Node != i || r.At != time.Duration(i)*5*time.Millisecond {
+			t.Errorf("entry %d = %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Package opencubemx provides fault-tolerant distributed mutual exclusion
+// on an open-cube logical tree, reproducing Hélary & Mostefaoui's
+// algorithm (INRIA RR-2041, 1993 / ICDCS 1994).
+//
+// The package offers two entry points:
+//
+//   - Cluster: an in-process live cluster (one goroutine per node) for
+//     applications that want a ready-to-use mutual exclusion service.
+//     See examples/quickstart and examples/bankledger.
+//   - NewTCPNode: a single node communicating over TCP for multi-process
+//     deployments. See examples/tcpcluster.
+//
+// The algorithm guarantees mutual exclusion via a unique token routed on
+// a logical tree that always remains an open-cube (a binomial tree), so a
+// request costs at most log2(N)+2 messages and ~3/4·log2(N)+5/4 on
+// average. With fault tolerance enabled, node fail-stops are detected by
+// timeouts and repaired by a local search procedure costing O(log2 N)
+// messages on average, including safe token regeneration.
+//
+// Research artifacts — the deterministic simulator, the experiment
+// harness regenerating the paper's tables, and the Raymond/Naimi-Trehel
+// baselines — live under internal/ and are exercised by cmd/ocmxbench and
+// the repository's benchmarks.
+package opencubemx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+// Option customizes a Cluster.
+type Option func(*options)
+
+type options struct {
+	node core.Config
+}
+
+// WithFaultTolerance enables the failure-handling layer (Section 5 of the
+// paper): delta is the assumed maximum message delay δ, csEstimate the
+// expected critical-section duration e, and slack the extra margin added
+// to every suspicion timeout (it should exceed the longest legitimate
+// queueing wait).
+func WithFaultTolerance(delta, csEstimate, slack time.Duration) Option {
+	return func(o *options) {
+		o.node.FT = true
+		o.node.Delta = delta
+		o.node.CSEstimate = csEstimate
+		o.node.SuspicionSlack = slack
+	}
+}
+
+// WithPolicy selects a general-scheme behavior policy; the default is the
+// paper's open-cube rule. The Raymond and Naimi-Trehel instances are
+// provided for experimentation.
+func WithPolicy(p core.Policy) Option {
+	return func(o *options) { o.node.Policy = p }
+}
+
+// Cluster is an in-process group of 2^p nodes sharing one mutual
+// exclusion token.
+type Cluster struct {
+	mesh  *transport.Mesh
+	nodes []*cluster.Node
+}
+
+// NewCluster starts an n-node cluster; n must be a power of two (the
+// open-cube structure requires it — run a non-power-of-two membership by
+// rounding up and leaving the spare positions unused with fault tolerance
+// enabled).
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("opencubemx: cluster size %d is not a power of two", n)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p := bits.TrailingZeros(uint(n))
+	mesh, err := transport.NewMesh(n, 4096)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{mesh: mesh}
+	for i := 0; i < n; i++ {
+		cfg := o.node
+		cfg.Self = ocube.Pos(i)
+		cfg.P = p
+		node, err := cluster.New(cfg, mesh.Endpoint(ocube.Pos(i)))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.nodes) }
+
+// Mutex returns node i's handle on the distributed mutex.
+func (c *Cluster) Mutex(i int) (*Mutex, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("opencubemx: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	return &Mutex{node: c.nodes[i]}, nil
+}
+
+// Kill simulates a fail-stop crash of node i: its event loop stops
+// immediately and every message sent to it from now on is lost, exactly
+// the failure model of the paper's Section 5. With fault tolerance
+// enabled the surviving nodes detect the crash by timeout and repair the
+// tree. Intended for failure drills and tests.
+func (c *Cluster) Kill(i int) error {
+	if i < 0 || i >= len(c.nodes) {
+		return fmt.Errorf("opencubemx: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	return c.nodes[i].Close()
+}
+
+// Close stops every node and the transport fabric.
+func (c *Cluster) Close() error {
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.mesh.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Mutex is one node's handle on the cluster-wide mutual exclusion token.
+// It intentionally mirrors sync.Mutex's shape, with context support.
+type Mutex struct {
+	node *cluster.Node
+}
+
+// Lock blocks until this node holds the token (and thus the exclusive
+// right to the critical section) or ctx is done.
+func (m *Mutex) Lock(ctx context.Context) error { return m.node.Lock(ctx) }
+
+// Unlock releases the critical section, returning the token to its
+// lender or keeping it if this node became the tree root.
+func (m *Mutex) Unlock() error { return m.node.Unlock() }
+
+// ErrBadMembership reports an invalid TCP membership table.
+var ErrBadMembership = errors.New("opencubemx: membership size is not a power of two")
+
+// TCPNode is one cluster member communicating over TCP.
+type TCPNode struct {
+	node *cluster.Node
+	tr   *transport.TCP
+}
+
+// NewTCPNode starts node self of a cluster whose members listen at the
+// given addresses (index = node position; the length must be a power of
+// two). Position 0 holds the initial token.
+func NewTCPNode(self int, addrs []string, opts ...Option) (*TCPNode, error) {
+	n := len(addrs)
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, ErrBadMembership
+	}
+	if self < 0 || self >= n {
+		return nil, fmt.Errorf("opencubemx: self %d out of range", self)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	table := make(map[ocube.Pos]string, n)
+	for i, a := range addrs {
+		table[ocube.Pos(i)] = a
+	}
+	tr, err := transport.NewTCP(ocube.Pos(self), table)
+	if err != nil {
+		return nil, err
+	}
+	cfg := o.node
+	cfg.Self = ocube.Pos(self)
+	cfg.P = bits.TrailingZeros(uint(n))
+	node, err := cluster.New(cfg, tr)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &TCPNode{node: node, tr: tr}, nil
+}
+
+// Mutex returns the node's mutex handle.
+func (t *TCPNode) Mutex() *Mutex { return &Mutex{node: t.node} }
+
+// Addr returns the node's bound listen address.
+func (t *TCPNode) Addr() string { return t.tr.Addr() }
+
+// Close stops the node and its transport.
+func (t *TCPNode) Close() error {
+	err := t.node.Close()
+	if terr := t.tr.Close(); err == nil {
+		err = terr
+	}
+	return err
+}
