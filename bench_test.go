@@ -25,6 +25,7 @@ import (
 func BenchmarkE1WorstCaseMessages(b *testing.B) {
 	for _, p := range []int{3, 5, 7} {
 		b.Run("N="+itoa(1<<p), func(b *testing.B) {
+			b.ReportAllocs()
 			var max int64
 			for i := 0; i < b.N; i++ {
 				rows, err := harness.E1WorstCase([]int{p}, 10, int64(i))
@@ -44,6 +45,7 @@ func BenchmarkE1WorstCaseMessages(b *testing.B) {
 func BenchmarkE2AverageMessages(b *testing.B) {
 	for _, p := range []int{3, 5, 7} {
 		b.Run("N="+itoa(1<<p), func(b *testing.B) {
+			b.ReportAllocs()
 			var measured, exact float64
 			for i := 0; i < b.N; i++ {
 				rows, err := harness.E2Average([]int{p}, int64(i+1))
@@ -64,6 +66,7 @@ func BenchmarkE2AverageMessages(b *testing.B) {
 func BenchmarkE3FailureOverhead(b *testing.B) {
 	for _, p := range []int{5, 6} {
 		b.Run("N="+itoa(1<<p), func(b *testing.B) {
+			b.ReportAllocs()
 			var repair, rejoin float64
 			for i := 0; i < b.N; i++ {
 				row, err := harness.E3FailureOverhead(p, 25, int64(i+1))
@@ -83,6 +86,7 @@ func BenchmarkE3FailureOverhead(b *testing.B) {
 func BenchmarkE3PaperMode(b *testing.B) {
 	for _, p := range []int{5, 6} {
 		b.Run("N="+itoa(1<<p), func(b *testing.B) {
+			b.ReportAllocs()
 			var repair float64
 			for i := 0; i < b.N; i++ {
 				row, err := harness.E3FailureOverheadPaperMode(p, 25, int64(i+1))
@@ -101,6 +105,7 @@ func BenchmarkE3PaperMode(b *testing.B) {
 func BenchmarkE4SearchFather(b *testing.B) {
 	for _, p := range []int{3, 4, 5, 6} {
 		b.Run("N="+itoa(1<<p), func(b *testing.B) {
+			b.ReportAllocs()
 			var mean float64
 			for i := 0; i < b.N; i++ {
 				rows, err := harness.E4SearchCost([]int{p}, 15, int64(i+1))
@@ -121,6 +126,7 @@ func BenchmarkE4SearchFather(b *testing.B) {
 func BenchmarkE5Comparison(b *testing.B) {
 	for _, load := range []string{harness.LoadSpread, harness.LoadBurst, harness.LoadHotspot} {
 		b.Run(load, func(b *testing.B) {
+			b.ReportAllocs()
 			metric := map[string]float64{}
 			for i := 0; i < b.N; i++ {
 				rows, err := harness.E5Comparison([]int{4}, []string{load}, int64(i+1))
@@ -152,6 +158,7 @@ func BenchmarkLiveClusterLockUnlock(b *testing.B) {
 		b.Fatal(err)
 	}
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := m.Lock(ctx); err != nil {
@@ -175,6 +182,7 @@ func BenchmarkLiveClusterContended(b *testing.B) {
 	defer cancel()
 	per := b.N/c.N() + 1
 	var wg sync.WaitGroup
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < c.N(); i++ {
 		m, err := c.Mutex(i)
@@ -217,6 +225,7 @@ func itoa(n int) string {
 // section under the adversarial hotspot, open-cube versus static
 // Raymond (the paper's adaptivity claim).
 func BenchmarkE6Adaptivity(b *testing.B) {
+	b.ReportAllocs()
 	metric := map[string]float64{}
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.E6Adaptivity([]int{5}, int64(i+1))
@@ -229,5 +238,35 @@ func BenchmarkE6Adaptivity(b *testing.B) {
 	}
 	for algo, v := range metric {
 		b.ReportMetric(v, algo+"-msgs/CS")
+	}
+}
+
+// BenchmarkEngineThroughput saturates the discrete-event engine with a
+// seeded 64-node workload (16·N staggered requests to quiescence) and
+// reports delivered protocol messages per wall-clock second. The ft=on
+// variant re-arms suspicion/loan/transfer timers on nearly every
+// message — the workload that exposes dead-timer accumulation in the
+// event heap. The logical work per op is deterministic, so events/sec
+// across builds isolates engine overhead; BENCH_*.json records the same
+// scenario PR-over-PR.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, ft := range []bool{false, true} {
+		name := "ft=off"
+		if ft {
+			name = "ft=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs, grants int64
+			for i := 0; i < b.N; i++ {
+				m, g, err := harness.EngineThroughput(6, ft, 1993)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs, grants = m, g
+			}
+			b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(msgs)/float64(grants), "msgs/grant")
+		})
 	}
 }

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// The -json mode measures a fixed performance suite with the standard
+// benchmark machinery and writes BENCH_<label>.json, so the simulation
+// core's perf trajectory (events/sec, ns/op, allocs/op, protocol
+// msgs/request) is tracked PR-over-PR. Compare two files by dividing
+// like fields: events_per_sec ratios > 1 and allocs_per_op ratios < 1
+// mean the newer build wins. Every measurement is a seeded deterministic
+// run, so the logical work per op is identical across builds and
+// wall-clock differences are attributable to the engine.
+
+// benchResult is one measured suite entry.
+type benchResult struct {
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  int64   `json:"events_per_op,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	MsgsMetric   float64 `json:"msgs_metric,omitempty"`
+	MsgsMetricIs string  `json:"msgs_metric_is,omitempty"`
+}
+
+// benchFile is the BENCH_<label>.json document.
+type benchFile struct {
+	Label       string                 `json:"label"`
+	GoVersion   string                 `json:"go_version"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Parallelism int                    `json:"parallelism"`
+	Seed        int64                  `json:"seed"`
+	Experiments map[string]benchResult `json:"experiments"`
+}
+
+// measure benchmarks fn — a deterministic unit of work returning its
+// delivered-message count and a protocol metric — and folds the timing
+// into a benchResult.
+func measure(fn func() (events int64, metric float64, err error)) (benchResult, error) {
+	var (
+		events int64
+		metric float64
+		ferr   error
+	)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, m, err := fn()
+			if err != nil {
+				ferr = err
+				return
+			}
+			events, metric = e, m
+		}
+	})
+	if ferr != nil {
+		return benchResult{}, ferr
+	}
+	res := benchResult{
+		Iterations:  r.N,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		EventsPerOp: events,
+		MsgsMetric:  metric,
+	}
+	if secs := r.T.Seconds(); secs > 0 && events > 0 {
+		res.EventsPerSec = float64(events) * float64(r.N) / secs
+	}
+	return res, nil
+}
+
+// benchJSON runs the suite and writes BENCH_<label>.json.
+func benchJSON(label string, seed int64) error {
+	suite := []struct {
+		name     string
+		metricIs string
+		fn       func() (int64, float64, error)
+	}{
+		{"engine_throughput", "msgs/grant", func() (int64, float64, error) {
+			msgs, grants, err := harness.EngineThroughput(6, false, seed)
+			if err != nil || grants == 0 {
+				return 0, 0, err
+			}
+			return msgs, float64(msgs) / float64(grants), nil
+		}},
+		{"engine_throughput_ft", "msgs/grant", func() (int64, float64, error) {
+			msgs, grants, err := harness.EngineThroughput(6, true, seed)
+			if err != nil || grants == 0 {
+				return 0, 0, err
+			}
+			return msgs, float64(msgs) / float64(grants), nil
+		}},
+		{"e1_n32", "worst msgs/request", func() (int64, float64, error) {
+			rows, err := harness.E1WorstCase([]int{5}, 10, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, float64(rows[0].MaxMeasured), nil
+		}},
+		{"e2_n128", "avg msgs/request", func() (int64, float64, error) {
+			rows, err := harness.E2Average([]int{7}, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, rows[0].Measured, nil
+		}},
+		{"e3_n32", "repair msgs/failure", func() (int64, float64, error) {
+			row, err := harness.E3FailureOverhead(5, 25, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, row.RepairPerFail, nil
+		}},
+		{"e4_n32", "tested nodes/search", func() (int64, float64, error) {
+			rows, err := harness.E4SearchCost([]int{5}, 15, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, rows[0].MeanReconnect, nil
+		}},
+		{"e5_n16", "open-cube msgs/CS (spread)", func() (int64, float64, error) {
+			rows, err := harness.E5Comparison([]int{4}, []string{harness.LoadSpread}, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, r := range rows {
+				if r.Algorithm == "open-cube" {
+					return 0, r.MsgsPerCS, nil
+				}
+			}
+			return 0, 0, fmt.Errorf("e5: no open-cube row")
+		}},
+		{"e6_n32", "open-cube msgs/CS (hotspot)", func() (int64, float64, error) {
+			rows, err := harness.E6Adaptivity([]int{5}, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, r := range rows {
+				if r.Algorithm == "open-cube" {
+					return 0, r.MsgsPerCS, nil
+				}
+			}
+			return 0, 0, fmt.Errorf("e6: no open-cube row")
+		}},
+	}
+
+	out := benchFile{
+		Label:       label,
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: harness.Parallelism(),
+		Seed:        seed,
+		Experiments: make(map[string]benchResult, len(suite)),
+	}
+	for _, s := range suite {
+		fmt.Fprintf(os.Stderr, "bench %-22s ...", s.name)
+		res, err := measure(s.fn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr)
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		res.MsgsMetricIs = s.metricIs
+		out.Experiments[s.name] = res
+		fmt.Fprintf(os.Stderr, " %12d ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := "BENCH_" + label + ".json"
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -6,10 +6,21 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5] [-seed N] [-full]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6] [-seed N] [-full] [-parallel N] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps.
+//
+// -parallel N distributes independent experiment cells over N workers
+// (0, the default, uses GOMAXPROCS; 1 forces the sequential sweep). The
+// tables are byte-identical for every N: cells are seeded from their
+// coordinates and assembled in sweep order.
+//
+// -json LABEL measures the fixed performance suite instead of printing
+// tables and writes BENCH_LABEL.json (events/sec, ns/op, allocs/op and a
+// protocol metric per experiment), the artifact used to track engine
+// performance across PRs. Perf suites ignore -parallel and always sweep
+// sequentially so two BENCH files stay comparable.
 package main
 
 import (
@@ -24,7 +35,22 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
+	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
+	jsonLabel := flag.String("json", "", "measure the perf suite and write BENCH_<label>.json")
 	flag.Parse()
+
+	if *jsonLabel != "" {
+		// Perf suites always sweep sequentially: BENCH files exist to be
+		// divided against each other across PRs, and worker-pool speedup
+		// or scheduler jitter in ns_per_op would drown the engine signal.
+		harness.SetParallelism(1)
+		if err := benchJSON(*jsonLabel, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ocmxbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	harness.SetParallelism(*par)
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -60,23 +86,19 @@ func main() {
 	})
 
 	run("e3", func() error {
-		type cfg struct{ p, failures int }
-		cfgs := []cfg{{4, 60}, {5, 100}, {6, 60}}
+		cfgs := []harness.E3Config{{P: 4, Failures: 60}, {P: 5, Failures: 100}, {P: 6, Failures: 60}}
 		if *full {
-			cfgs = []cfg{{4, 300}, {5, 300}, {6, 200}, {7, 100}}
+			cfgs = []harness.E3Config{{P: 4, Failures: 300}, {P: 5, Failures: 300}, {P: 6, Failures: 200}, {P: 7, Failures: 100}}
 		}
-		var rows []harness.E3Row
+		// Interleave the safe and paper-mode rows per size, as the table
+		// has always been laid out.
+		cells := make([]harness.E3Config, 0, 2*len(cfgs))
 		for _, c := range cfgs {
-			row, err := harness.E3FailureOverhead(c.p, c.failures, *seed)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, row)
-			paper, err := harness.E3FailureOverheadPaperMode(c.p, c.failures, *seed)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, paper)
+			cells = append(cells, c, harness.E3Config{P: c.P, Failures: c.Failures, PaperMode: true})
+		}
+		rows, err := harness.E3Sweep(cells, *seed)
+		if err != nil {
+			return err
 		}
 		fmt.Println(harness.FormatE3(rows))
 		return nil

@@ -35,6 +35,10 @@ const (
 	numTimerKinds = iota
 )
 
+// NumTimerKinds is the number of distinct timer kinds; drivers that keep
+// per-(node, kind) timer state size their tables with it.
+const NumTimerKinds = int(numTimerKinds)
+
 // String names the timer kind.
 func (k TimerKind) String() string {
 	switch k {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/ocube"
@@ -290,7 +291,16 @@ func (n *Node) onSearchRound() {
 	s.remaining -= len(s.outstanding) // no answer within 2δ: discarded
 	s.outstanding = make(map[ocube.Pos]bool, len(s.deferred))
 	if s.remaining > 0 {
+		// Probe again in ascending position order: ranging over the map
+		// directly would attach this round's sends (and the simulator's
+		// seeded delay draws) to candidates in a per-process-random order,
+		// breaking bit-for-bit replay whenever two nodes deferred.
+		cands := make([]ocube.Pos, 0, len(s.deferred))
 		for k := range s.deferred {
+			cands = append(cands, k)
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+		for _, k := range cands {
 			s.outstanding[k] = true
 			s.tested++
 			n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
@@ -513,8 +523,8 @@ func (n *Node) Recover() []Effect {
 	n.returnGrace = false
 	n.xferPending = false
 	n.queue = nil
-	n.seen = make(map[ocube.Pos]uint64)
-	n.granted = make(map[ocube.Pos]uint64)
+	n.seen = nil
+	n.granted = nil
 	for k := range n.gens {
 		n.gens[k]++ // invalidate every pre-crash timer
 	}

@@ -85,6 +85,15 @@ const seqStride = 1 << 20
 // logical request (possibly re-issued by failure recovery).
 func sameRequest(a, b uint64) bool { return a/seqStride == b/seqStride }
 
+// markGranted records that source's request seq was served (lazily
+// allocating the map).
+func (n *Node) markGranted(source ocube.Pos, seq uint64) {
+	if n.granted == nil {
+		n.granted = make(map[ocube.Pos]uint64, 4)
+	}
+	n.granted[source] = seq
+}
+
 // queued is a deferred work item: either a local wish to enter the
 // critical section or a received request message, waiting for the node to
 // stop asking (the paper's per-node waiting queue with FIFO service).
@@ -148,6 +157,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if pol == nil {
 		pol = OpenCubePolicy{}
 	}
+	// seen and granted are lazily allocated on first write (nil maps read
+	// as empty): a large simulated network builds 2^P nodes per run and
+	// most never proxy a request.
 	return &Node{
 		cfg:        cfg,
 		policy:     pol,
@@ -158,8 +170,6 @@ func NewNode(cfg Config) (*Node, error) {
 		curSource:  ocube.None,
 		loanSource: ocube.None,
 		loanTarget: ocube.None,
-		seen:       make(map[ocube.Pos]uint64),
-		granted:    make(map[ocube.Pos]uint64),
 	}, nil
 }
 
@@ -210,9 +220,16 @@ func (n *Node) view() View {
 
 func (n *Node) emit(e Effect) { n.effects = append(n.effects, e) }
 
+// take hands the accumulated effects to the driver and recycles the
+// backing array: the returned slice is valid only until the next call
+// into this node, which every driver satisfies by executing (or copying)
+// the effects before delivering further inputs.
 func (n *Node) take() []Effect {
+	if len(n.effects) == 0 {
+		return nil
+	}
 	out := n.effects
-	n.effects = nil
+	n.effects = n.effects[:0]
 	return out
 }
 
@@ -229,6 +246,11 @@ func (n *Node) armTimer(kind TimerKind, delay time.Duration) {
 
 // cancelTimer invalidates any outstanding fire of kind.
 func (n *Node) cancelTimer(kind TimerKind) { n.gens[kind]++ }
+
+// TimerGen returns the live generation for kind. A scheduled fire
+// carrying any other generation is dead — cancelled or superseded — and
+// drivers may discard it without delivering it.
+func (n *Node) TimerGen(kind TimerKind) uint64 { return n.gens[kind] }
 
 // HandleTimer delivers a timer fire. Stale generations are ignored.
 func (n *Node) HandleTimer(kind TimerKind, gen uint64) []Effect {
@@ -375,7 +397,7 @@ func (n *Node) processRequest(m Message) {
 				// handing the token to a proxy does not (the onward lend
 				// can still fail), so marking then would wrongly discard
 				// the source's recovery re-issues.
-				n.granted[m.Source] = m.Seq
+				n.markGranted(m.Source, m.Seq)
 				n.guardTransfer(m.Target, m.Seq, m.Source)
 			} else {
 				n.guardTransfer(m.Target, m.Seq, ocube.None)
@@ -440,6 +462,9 @@ func (n *Node) onRequest(m Message) {
 	if last, ok := n.seen[m.Source]; ok && m.Seq < last {
 		n.emit(Dropped{Msg: m, Reason: "stale sequence"})
 		return
+	}
+	if n.seen == nil {
+		n.seen = make(map[ocube.Pos]uint64, 8)
 	}
 	n.seen[m.Source] = m.Seq
 	// A re-issue of a request already queued here supersedes the queued
@@ -516,7 +541,7 @@ func (n *Node) onToken(m Message) {
 		n.cancelTimer(TimerTokenReturn)
 		n.cancelTimer(TimerEnquiry)
 		if n.loanSource != ocube.None {
-			n.granted[n.loanSource] = n.loanSeq
+			n.markGranted(n.loanSource, n.loanSeq)
 		}
 		n.loanSource, n.loanTarget = ocube.None, ocube.None
 		n.returnGrace = false

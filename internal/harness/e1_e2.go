@@ -23,19 +23,27 @@ type E1Row struct {
 
 // E1WorstCase measures the worst per-request message cost for each cube
 // order: every requester on the pristine cube, plus sequential probes on
-// randomly evolved (but always valid) open-cubes.
+// randomly evolved (but always valid) open-cubes. Pristine-cube probes
+// are independent (p, requester) cells and run on the sweep worker pool;
+// the evolving-tree probes of one order share a network and stay
+// sequential, but distinct orders sweep concurrently.
 func E1WorstCase(ps []int, probesPerP int, seed int64) ([]E1Row, error) {
-	rows := make([]E1Row, 0, len(ps))
-	for _, p := range ps {
+	rows := make([]E1Row, len(ps))
+	err := forEach(len(ps), func(pi int) error {
+		p := ps[pi]
 		n := 1 << p
 		row := E1Row{N: n, PaperBound: ocube.WorstCaseMessages(n),
 			StrictBound: ocube.WorstCaseMessages(n) + 1}
 		// Every requester from the pristine configuration.
-		for i := 0; i < n; i++ {
+		costs := make([]int64, n)
+		if err := forEach(n, func(i int) error {
 			c, err := singleRequestCost(p, ocube.Pos(i))
-			if err != nil {
-				return nil, err
-			}
+			costs[i] = c
+			return err
+		}); err != nil {
+			return err
+		}
+		for _, c := range costs {
 			row.ProbedConfig++
 			if c > row.MaxMeasured {
 				row.MaxMeasured = c
@@ -46,20 +54,24 @@ func E1WorstCase(ps []int, probesPerP int, seed int64) ([]E1Row, error) {
 		rec := &trace.Recorder{}
 		w, err := newNetwork(p, seed, rec, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i := 0; i < probesPerP; i++ {
 			before := rec.Total()
 			w.RequestCS(ocube.Pos(rng.Intn(n)), 0)
 			if !w.RunUntilQuiescent(time.Hour) {
-				return nil, fmt.Errorf("harness: e1 probe did not quiesce")
+				return fmt.Errorf("harness: e1 probe did not quiesce")
 			}
 			row.ProbedConfig++
 			if c := rec.Total() - before; c > row.MaxMeasured {
 				row.MaxMeasured = c
 			}
 		}
-		rows = append(rows, row)
+		rows[pi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -92,17 +104,25 @@ type E2Row struct {
 
 // E2Average measures the exact per-node average on pristine cubes (the
 // paper's analytical setting) and a steady-state average under
-// concurrent random load.
+// concurrent random load. Each (p, requester) probe and each per-order
+// steady-state run is an independent seeded cell on the sweep pool; the
+// per-order totals are summed in requester order, so the averages are
+// bit-identical to the sequential sweep.
 func E2Average(ps []int, seed int64) ([]E2Row, error) {
-	rows := make([]E2Row, 0, len(ps))
-	for _, p := range ps {
+	rows := make([]E2Row, len(ps))
+	err := forEach(len(ps), func(pi int) error {
+		p := ps[pi]
 		n := 1 << p
-		var total int64
-		for i := 0; i < n; i++ {
+		costs := make([]int64, n)
+		if err := forEach(n, func(i int) error {
 			c, err := singleRequestCost(p, ocube.Pos(i))
-			if err != nil {
-				return nil, err
-			}
+			costs[i] = c
+			return err
+		}); err != nil {
+			return err
+		}
+		var total int64
+		for _, c := range costs {
 			total += c
 		}
 		row := E2Row{
@@ -113,10 +133,14 @@ func E2Average(ps []int, seed int64) ([]E2Row, error) {
 		}
 		steady, err := steadyStateAverage(p, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.SteadyState = steady
-		rows = append(rows, row)
+		rows[pi] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -180,24 +180,34 @@ type E4Row struct {
 	Log2N          int
 }
 
+// searchOutcome is one SearchEnded observation of an E4 trial.
+type searchOutcome struct {
+	father ocube.Pos
+	tested int
+}
+
 // E4SearchCost isolates one search_father per trial: a random node's
 // father fails and the node requests, forcing the reconnection search;
-// the tested-node count comes from the SearchEnded effect.
+// the tested-node count comes from the SearchEnded effect. The
+// requesters are drawn up front from the per-order generator in trial
+// order — exactly the draws the sequential loop makes — then the trials,
+// each an independently seeded network, run as cells on the sweep pool
+// and their observations are folded in trial order.
 func E4SearchCost(ps []int, trials int, seed int64) ([]E4Row, error) {
-	rows := make([]E4Row, 0, len(ps))
-	for _, p := range ps {
+	rows := make([]E4Row, len(ps))
+	err := forEach(len(ps), func(pi int) error {
+		p := ps[pi]
 		n := 1 << p
 		rng := rand.New(rand.NewSource(seed + int64(p)))
-		reconnect := &metrics.Summary{}
-		exhaust := &metrics.Summary{}
-		for trial := 0; trial < trials; trial++ {
-			requester := ocube.Pos(1 + rng.Intn(n-1)) // any non-root
+		requesters := make([]ocube.Pos, trials)
+		for trial := range requesters {
+			requesters[trial] = ocube.Pos(1 + rng.Intn(n-1)) // any non-root
+		}
+		perTrial := make([][]searchOutcome, trials)
+		if err := forEach(trials, func(trial int) error {
+			requester := requesters[trial]
 			victim := ocube.InitialFather(requester)
-			type ended struct {
-				father ocube.Pos
-				tested int
-			}
-			var got []ended
+			var got []searchOutcome
 			w, err := sim.New(sim.Config{
 				P:     p,
 				Seed:  seed ^ int64(trial),
@@ -205,18 +215,26 @@ func E4SearchCost(ps []int, trials int, seed int64) ([]E4Row, error) {
 				Node:  ftNodeConfig(),
 				OnEffect: func(node ocube.Pos, e core.Effect) {
 					if se, ok := e.(core.SearchEnded); ok && node == requester {
-						got = append(got, ended{father: se.Father, tested: se.Tested})
+						got = append(got, searchOutcome{father: se.Father, tested: se.Tested})
 					}
 				},
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			w.Fail(victim, 0)
 			w.RequestCS(requester, delta)
 			if !w.RunUntilQuiescent(24 * time.Hour) {
-				return nil, fmt.Errorf("harness: e4 trial did not quiesce")
+				return fmt.Errorf("harness: e4 trial did not quiesce")
 			}
+			perTrial[trial] = got
+			return nil
+		}); err != nil {
+			return err
+		}
+		reconnect := &metrics.Summary{}
+		exhaust := &metrics.Summary{}
+		for _, got := range perTrial {
 			for _, e := range got {
 				if e.father == ocube.None {
 					exhaust.Observe(float64(e.tested))
@@ -225,14 +243,18 @@ func E4SearchCost(ps []int, trials int, seed int64) ([]E4Row, error) {
 				}
 			}
 		}
-		rows = append(rows, E4Row{
+		rows[pi] = E4Row{
 			N:              n,
 			Trials:         trials,
 			MeanReconnect:  reconnect.Mean(),
 			MaxReconnect:   reconnect.Max(),
 			MeanExhaustion: exhaust.Mean(),
 			Log2N:          p,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -49,21 +49,39 @@ type E5Row struct {
 
 // E5Comparison runs the same seeded schedule through the open-cube
 // algorithm, the two general-scheme instances and the two classic
-// baselines, and reports mean messages per critical section.
+// baselines, and reports mean messages per critical section. Schedules
+// are drawn up front per (order, load) — every algorithm replays the
+// identical read-only schedule — and the (order, load, algorithm) cells
+// run concurrently on the sweep pool, assembled in sequential order.
 func E5Comparison(ps []int, loads []string, seed int64) ([]E5Row, error) {
-	var rows []E5Row
+	type cell struct {
+		p    int
+		load string
+		algo string
+		reqs []workload.Request
+	}
+	var cells []cell
 	for _, p := range ps {
 		n := 1 << p
 		for _, load := range loads {
 			reqs := scheduleFor(load, n, seed)
 			for _, algo := range E5Algorithms {
-				row, err := runE5(algo, p, load, reqs, seed)
-				if err != nil {
-					return nil, fmt.Errorf("harness: e5 %s N=%d %s: %w", algo, n, load, err)
-				}
-				rows = append(rows, row)
+				cells = append(cells, cell{p: p, load: load, algo: algo, reqs: reqs})
 			}
 		}
+	}
+	rows := make([]E5Row, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		row, err := runE5(c.algo, c.p, c.load, c.reqs, seed)
+		if err != nil {
+			return fmt.Errorf("harness: e5 %s N=%d %s: %w", c.algo, 1<<c.p, c.load, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -41,27 +41,47 @@ func hotSet(p int) []int {
 
 // E6Adaptivity runs the adversarial hotspot workload (80% of requests
 // from the spread hot set) through the open-cube algorithm and classic
-// Raymond on the identical schedule.
+// Raymond on the identical schedule. The per-order schedules are drawn
+// up front; the (order, algorithm) cells run concurrently on the sweep
+// pool and assemble in sequential order.
 func E6Adaptivity(ps []int, seed int64) ([]E6Row, error) {
-	var rows []E6Row
+	type cell struct {
+		p       int
+		raymond bool
+		hot     []int
+		reqs    []workload.Request
+	}
+	var cells []cell
 	for _, p := range ps {
 		n := 1 << p
 		hot := hotSet(p)
 		rng := newRng(seed)
 		count := 20 * n
 		reqs := workload.HotspotSet(rng, n, count, time.Duration(2*count)*delta, hot, 0.8)
-
-		oc, err := e6OpenCube(p, hot, reqs, seed)
-		if err != nil {
-			return nil, err
+		cells = append(cells,
+			cell{p: p, hot: hot, reqs: reqs},
+			cell{p: p, raymond: true, reqs: reqs})
+	}
+	rows := make([]E6Row, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		var (
+			row E6Row
+			err error
+		)
+		if c.raymond {
+			row, err = e6Raymond(c.p, c.reqs, seed)
+		} else {
+			row, err = e6OpenCube(c.p, c.hot, c.reqs, seed)
 		}
-		rows = append(rows, oc)
-
-		ray, err := e6Raymond(p, reqs, seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ray)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

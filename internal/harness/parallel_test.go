@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// renderAll runs a small instance of every experiment and concatenates
+// the formatted tables — the exact artifact cmd/ocmxbench prints.
+func renderAll(t *testing.T) string {
+	t.Helper()
+	const seed = 42
+	var b strings.Builder
+	e1, err := E1WorstCase([]int{2, 3}, 6, seed)
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	b.WriteString(FormatE1(e1))
+	e2, err := E2Average([]int{2, 3}, seed)
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	b.WriteString(FormatE2(e2))
+	e3, err := E3Sweep([]E3Config{{P: 3, Failures: 5}, {P: 3, Failures: 5, PaperMode: true}}, seed)
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	b.WriteString(FormatE3(e3))
+	e4, err := E4SearchCost([]int{3}, 6, seed)
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	b.WriteString(FormatE4(e4))
+	e5, err := E5Comparison([]int{3}, []string{LoadSpread, LoadBurst}, seed)
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	b.WriteString(FormatE5(e5))
+	e6, err := E6Adaptivity([]int{3}, seed)
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	b.WriteString(FormatE6(e6))
+	return b.String()
+}
+
+// TestParallelMatchesSequential pins the harness parallelization
+// contract: every experiment table is byte-identical whether the cells
+// run on one worker or many, because cell seeding and result assembly
+// are independent of scheduling.
+func TestParallelMatchesSequential(t *testing.T) {
+	SetParallelism(1)
+	seq := renderAll(t)
+	SetParallelism(8)
+	defer SetParallelism(1)
+	par := renderAll(t)
+	if seq != par {
+		t.Errorf("parallel sweep diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E6 —") {
+		t.Errorf("rendered tables look truncated:\n%s", seq)
+	}
+}
+
+// TestEngineThroughputDeterministic pins the BENCH scenario: identical
+// seeds must process identical logical work in both sweep modes.
+func TestEngineThroughputDeterministic(t *testing.T) {
+	for _, ft := range []bool{false, true} {
+		m1, g1, err := EngineThroughput(4, ft, 7)
+		if err != nil {
+			t.Fatalf("ft=%v: %v", ft, err)
+		}
+		m2, g2, err := EngineThroughput(4, ft, 7)
+		if err != nil {
+			t.Fatalf("ft=%v: %v", ft, err)
+		}
+		if m1 != m2 || g1 != g2 {
+			t.Errorf("ft=%v: replay diverged: (%d,%d) vs (%d,%d)", ft, m1, g1, m2, g2)
+		}
+		if g1 == 0 || m1 == 0 {
+			t.Errorf("ft=%v: empty run: msgs=%d grants=%d", ft, m1, g1)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ocube"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// EngineThroughput drives one saturated open-cube simulation to
+// quiescence and reports the messages delivered and grants served — the
+// work units behind the events/sec figures in BENCH_*.json and
+// BenchmarkEngineThroughput. The run is deterministic per (p, ft, seed),
+// so old and new engines process identical logical work and wall-clock
+// alone separates them. With ft set the protocol re-arms suspicion,
+// loan-return and transfer-ack timers on nearly every message, which is
+// exactly the workload where dead scheduled timers used to pile up in
+// the event heap.
+func EngineThroughput(p int, ft bool, seed int64) (msgs, grants int64, err error) {
+	n := 1 << p
+	rec := &trace.Recorder{}
+	cfg := sim.Config{
+		P:        p,
+		Seed:     seed,
+		Delay:    sim.UniformDelay(delta/2, delta),
+		Recorder: rec,
+		CSTime:   csTime(delta),
+	}
+	if ft {
+		cfg.Node = ftNodeConfig()
+	}
+	w, err := sim.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	rng := newRng(seed)
+	count := 16 * n
+	horizon := time.Duration(2*count) * delta
+	for i := 0; i < count; i++ {
+		w.RequestCS(ocube.Pos(rng.Intn(n)), time.Duration(rng.Int63n(int64(horizon))))
+	}
+	if !w.RunUntilQuiescent(240 * time.Hour) {
+		return 0, 0, fmt.Errorf("harness: throughput run (p=%d ft=%v seed=%d) did not quiesce", p, ft, seed)
+	}
+	if w.Violations() != 0 {
+		return 0, 0, fmt.Errorf("harness: throughput run had %d violations", w.Violations())
+	}
+	return rec.Total(), w.Grants(), nil
+}

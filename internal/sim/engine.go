@@ -8,88 +8,277 @@
 // reported metric (message counts) depends only on the logical structure
 // and interleavings, which the simulator reproduces under the paper's
 // assumption of a bounded transmission delay δ.
+//
+// The event queue is an inlined 4-ary min-heap of 24-byte typed entries:
+// message deliveries, timer fires and scheduled operations are tagged
+// variants whose payloads live out-of-line in free-listed arenas, so the
+// hot loop allocates nothing per event and heap sifts move four words (no
+// closures, no container/heap interface boxing, no large-struct copies).
+// Timer events additionally keep a slot index per (node, kind): re-arming
+// a timer reschedules its existing heap entry in place instead of
+// abandoning a dead entry until its fire time, which keeps fault-tolerant
+// runs — where suspicion timers are re-armed on nearly every message —
+// from dragging a heap full of corpses.
 package sim
 
 import (
-	"container/heap"
 	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
 )
 
-// event is a scheduled callback. seq breaks ties FIFO so same-instant
-// events run in schedule order, which keeps runs deterministic.
-type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
+// eventKind tags the heap entry variants.
+type eventKind uint8
+
+const (
+	// evFunc runs an arbitrary callback (Engine.After; cold paths and
+	// tests only — the simulation hot paths use the typed variants). The
+	// entry's ref indexes the callback arena.
+	evFunc eventKind = iota
+	// evDeliver hands a message to its destination; ref indexes the
+	// message arena.
+	evDeliver
+	// evTimer fires a node timer; ref is the timer slot key encoding
+	// (node, kind), and the armed generation lives in slotGen[ref].
+	evTimer
+	// evRequest executes a scheduled Network.RequestCS; ref is the node.
+	evRequest
+	// evFail crashes node ref.
+	evFail
+	// evRecover restarts node ref.
+	evRecover
+	// evRelease ends node ref's simulated critical section.
+	evRelease
+)
+
+// heapEntry is one scheduled occurrence. seq breaks ties FIFO so
+// same-instant events run in schedule order, which keeps runs
+// deterministic. Entries are deliberately four words: heap sifts copy
+// them wholesale.
+type heapEntry struct {
+	at   time.Duration
+	seq  uint64
+	ref  int32
+	kind eventKind
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entryLess orders entries by (at, seq).
+func entryLess(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Peek() (event, bool) {
-	if len(h) == 0 {
-		return event{}, false
-	}
-	return h[0], true
-}
+// handler dispatches typed events; *Network implements it.
+type handler interface{ handle(ent heapEntry) }
 
-// Engine is a virtual-time event loop. The zero value is ready to use.
+// Engine is a virtual-time event loop. The zero value is ready to use
+// for callback events; Network binds the typed dispatch and timer slots.
 type Engine struct {
 	now  time.Duration
 	next uint64
-	heap eventHeap
+	ev   []heapEntry // 4-ary min-heap by (at, seq)
+
+	// slots maps timer keys to their heap index (-1 when absent) and
+	// slotGen to the generation the key was last armed with; sized by
+	// bind to nodes × timer kinds. At most one entry per key exists.
+	slots   []int32
+	slotGen []uint64
+	h       handler
+
+	// Payload arenas with free lists; entry ref indexes them.
+	msgs    []core.Message
+	msgFree []int32
+	fns     []func()
+	fnFree  []int32
+}
+
+// bind installs the typed-event dispatcher and allocates the timer slot
+// table.
+func (e *Engine) bind(h handler, timerSlots int) {
+	e.h = h
+	e.slots = make([]int32, timerSlots)
+	for i := range e.slots {
+		e.slots[i] = -1
+	}
+	e.slotGen = make([]uint64, timerSlots)
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.ev) }
+
 // After schedules fn to run at Now()+d. A non-positive d runs fn at the
 // current instant, after already-scheduled same-instant events.
 func (e *Engine) After(d time.Duration, fn func()) {
+	var ref int32
+	if n := len(e.fnFree); n > 0 {
+		ref = e.fnFree[n-1]
+		e.fnFree = e.fnFree[:n-1]
+		e.fns[ref] = fn
+	} else {
+		e.fns = append(e.fns, fn)
+		ref = int32(len(e.fns) - 1)
+	}
+	e.schedule(d, evFunc, ref)
+}
+
+// scheduleMsg schedules the delivery of m after d.
+func (e *Engine) scheduleMsg(d time.Duration, m core.Message) {
+	var ref int32
+	if n := len(e.msgFree); n > 0 {
+		ref = e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+		e.msgs[ref] = m
+	} else {
+		e.msgs = append(e.msgs, m)
+		ref = int32(len(e.msgs) - 1)
+	}
+	e.schedule(d, evDeliver, ref)
+}
+
+// takeMsg claims the delivered message and recycles its arena slot.
+func (e *Engine) takeMsg(ref int32) core.Message {
+	m := e.msgs[ref]
+	e.msgFree = append(e.msgFree, ref)
+	return m
+}
+
+// schedule stamps a new entry and pushes it.
+func (e *Engine) schedule(d time.Duration, kind eventKind, ref int32) {
 	if d < 0 {
 		d = 0
 	}
 	e.next++
-	heap.Push(&e.heap, event{at: e.now + d, seq: e.next, fn: fn})
+	e.ev = append(e.ev, heapEntry{at: e.now + d, seq: e.next, kind: kind, ref: ref})
+	e.siftUp(len(e.ev) - 1)
 }
 
-// Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.heap) }
+// scheduleTimer schedules (or in-place reschedules) the timer entry for
+// slot key. At most one heap entry exists per key: arming a timer whose
+// previous fire is still scheduled overwrites the dead entry — its
+// generation was superseded — and restores heap order from its position.
+func (e *Engine) scheduleTimer(key int32, gen uint64, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.next++
+	e.slotGen[key] = gen
+	ent := heapEntry{at: e.now + d, seq: e.next, kind: evTimer, ref: key}
+	if i := e.slots[key]; i >= 0 {
+		dead := e.ev[i]
+		e.ev[i] = ent
+		if entryLess(&ent, &dead) {
+			e.siftUp(int(i))
+		} else {
+			e.siftDown(int(i))
+		}
+		return
+	}
+	e.ev = append(e.ev, ent)
+	e.siftUp(len(e.ev) - 1)
+}
+
+// place stores ent at heap index i and maintains its slot entry.
+func (e *Engine) place(i int, ent heapEntry) {
+	e.ev[i] = ent
+	if ent.kind == evTimer {
+		e.slots[ent.ref] = int32(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	ent := e.ev[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !entryLess(&ent, &e.ev[parent]) {
+			break
+		}
+		e.place(i, e.ev[parent])
+		i = parent
+	}
+	e.place(i, ent)
+}
+
+func (e *Engine) siftDown(i int) {
+	ent := e.ev[i]
+	n := len(e.ev)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if entryLess(&e.ev[j], &e.ev[min]) {
+				min = j
+			}
+		}
+		if !entryLess(&e.ev[min], &ent) {
+			break
+		}
+		e.place(i, e.ev[min])
+		i = min
+	}
+	e.place(i, ent)
+}
+
+// pop removes and returns the earliest entry.
+func (e *Engine) pop() heapEntry {
+	ent := e.ev[0]
+	if ent.kind == evTimer {
+		e.slots[ent.ref] = -1
+	}
+	last := len(e.ev) - 1
+	moved := e.ev[last]
+	e.ev = e.ev[:last]
+	if last > 0 {
+		e.place(0, moved)
+		e.siftDown(0)
+	}
+	return ent
+}
 
 // Step runs the next event; it reports false when none remain.
 func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
+	if len(e.ev) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.heap).(event)
-	e.now = ev.at
-	ev.fn()
+	ent := e.pop()
+	e.now = ent.at
+	if ent.kind == evFunc {
+		fn := e.fns[ent.ref]
+		e.fns[ent.ref] = nil
+		e.fnFree = append(e.fnFree, ent.ref)
+		fn()
+	} else {
+		e.h.handle(ent)
+	}
 	return true
+}
+
+// peekAt returns the fire time of the earliest event.
+func (e *Engine) peekAt() (time.Duration, bool) {
+	if len(e.ev) == 0 {
+		return 0, false
+	}
+	return e.ev[0].at, true
 }
 
 // RunUntil executes events with timestamps ≤ deadline and advances the
 // clock to the deadline.
 func (e *Engine) RunUntil(deadline time.Duration) {
 	for {
-		ev, ok := e.heap.Peek()
-		if !ok || ev.at > deadline {
+		at, ok := e.peekAt()
+		if !ok || at > deadline {
 			break
 		}
 		e.Step()
@@ -104,8 +293,8 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 // because cond became false.
 func (e *Engine) RunWhile(cond func() bool, maxTime time.Duration) bool {
 	for cond() {
-		ev, ok := e.heap.Peek()
-		if !ok || ev.at > maxTime {
+		at, ok := e.peekAt()
+		if !ok || at > maxTime {
 			return false
 		}
 		e.Step()
@@ -116,10 +305,19 @@ func (e *Engine) RunWhile(cond func() bool, maxTime time.Duration) bool {
 // Drain runs every remaining event up to maxTime.
 func (e *Engine) Drain(maxTime time.Duration) {
 	for {
-		ev, ok := e.heap.Peek()
-		if !ok || ev.at > maxTime {
+		at, ok := e.peekAt()
+		if !ok || at > maxTime {
 			return
 		}
 		e.Step()
 	}
+}
+
+// timerKeys derive the slot key for a node timer and back.
+func timerKey(x ocube.Pos, kind core.TimerKind) int32 {
+	return int32(int(x)*core.NumTimerKinds + int(kind) - 1)
+}
+
+func timerFromKey(key int32) (ocube.Pos, core.TimerKind) {
+	return ocube.Pos(int(key) / core.NumTimerKinds), core.TimerKind(int(key)%core.NumTimerKinds + 1)
 }

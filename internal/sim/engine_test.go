@@ -176,3 +176,117 @@ func TestAblationA4DelaySensitivity(t *testing.T) {
 		})
 	}
 }
+
+// timerFire is one recorded fake dispatch: the slot key decoded plus the
+// generation the engine had armed for it at fire time.
+type timerFire struct {
+	at   time.Duration
+	node ocube.Pos
+	kind core.TimerKind
+	gen  uint64
+}
+
+// fakeHandler records typed events delivered by the engine.
+type fakeHandler struct {
+	e     *Engine
+	fired []timerFire
+}
+
+func (h *fakeHandler) handle(ent heapEntry) {
+	if ent.kind != evTimer {
+		return
+	}
+	node, kind := timerFromKey(ent.ref)
+	h.fired = append(h.fired, timerFire{at: ent.at, node: node, kind: kind, gen: h.e.slotGen[ent.ref]})
+}
+
+// TestEngineTimerInPlaceReschedule: re-arming a timer must replace its
+// existing heap entry instead of accumulating dead ones.
+func TestEngineTimerInPlaceReschedule(t *testing.T) {
+	var e Engine
+	h := &fakeHandler{e: &e}
+	e.bind(h, 2*core.NumTimerKinds)
+	key := timerKey(1, core.TimerSuspicion)
+	for gen := uint64(1); gen <= 50; gen++ {
+		e.scheduleTimer(key, gen, time.Duration(100-gen)*time.Millisecond)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after 50 re-arms of one timer, want 1", e.Pending())
+	}
+	for e.Step() {
+	}
+	if len(h.fired) != 1 || h.fired[0].gen != 50 {
+		t.Fatalf("fired = %+v, want single fire of generation 50", h.fired)
+	}
+	if e.Now() != 50*time.Millisecond {
+		t.Errorf("now = %v, want the latest re-arm's deadline 50ms", e.Now())
+	}
+}
+
+// TestEngineTimerOrderingAcrossKeys: distinct timers and callback events
+// interleave strictly by (time, schedule order), with rescheduling moving
+// entries both directions through the heap.
+func TestEngineTimerOrderingAcrossKeys(t *testing.T) {
+	var e Engine
+	h := &fakeHandler{e: &e}
+	e.bind(h, 4*core.NumTimerKinds)
+	var cbAt []time.Duration
+	e.After(15*time.Millisecond, func() { cbAt = append(cbAt, e.Now()) })
+	e.scheduleTimer(timerKey(0, core.TimerEnquiry), 1, 30*time.Millisecond)
+	e.scheduleTimer(timerKey(2, core.TimerSearchRound), 1, 10*time.Millisecond)
+	// Move node 0's timer earlier and node 2's later.
+	e.scheduleTimer(timerKey(0, core.TimerEnquiry), 2, 5*time.Millisecond)
+	e.scheduleTimer(timerKey(2, core.TimerSearchRound), 2, 20*time.Millisecond)
+	for e.Step() {
+	}
+	if len(h.fired) != 2 || h.fired[0].node != 0 || h.fired[1].node != 2 {
+		t.Fatalf("fired = %+v, want node 0 then node 2", h.fired)
+	}
+	if h.fired[0].kind != core.TimerEnquiry || h.fired[1].kind != core.TimerSearchRound {
+		t.Errorf("fired kinds = %v, %v", h.fired[0].kind, h.fired[1].kind)
+	}
+	if h.fired[0].at != 5*time.Millisecond || h.fired[1].at != 20*time.Millisecond {
+		t.Errorf("fire times = %v, %v", h.fired[0].at, h.fired[1].at)
+	}
+	if len(cbAt) != 1 || cbAt[0] != 15*time.Millisecond {
+		t.Errorf("callback times = %v, want [15ms]", cbAt)
+	}
+}
+
+// TestHeapStaysBoundedUnderFT: the dead-timer elimination must keep the
+// event heap bounded by live work (one slot per node and timer kind plus
+// in-flight traffic) even though fault-tolerant runs re-arm suspicion
+// timers on nearly every message.
+func TestHeapStaysBoundedUnderFT(t *testing.T) {
+	w, err := New(Config{
+		P:     4,
+		Seed:  3,
+		Delay: UniformDelay(time.Millisecond/2, time.Millisecond),
+		Node: core.Config{FT: true, Delta: time.Millisecond,
+			CSEstimate: time.Millisecond, SuspicionSlack: 24 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < w.N(); i++ {
+			w.RequestCS(ocube.Pos(i), time.Duration(round*30+i)*time.Millisecond)
+		}
+	}
+	slots := w.N() * core.NumTimerKinds
+	for w.Busy() {
+		if !w.Eng.Step() {
+			break
+		}
+		// Exact occupancy invariant: every heap entry is a scheduled op, an
+		// in-flight message, or one of the ≤ slots timer entries. Without
+		// in-place rescheduling, dead suspicion timers blow through this.
+		if bound := w.pendingOps + w.inflight + slots; w.Eng.Pending() > bound {
+			t.Fatalf("heap holds %d events with %d ops + %d in flight (bound %d): dead timers accumulate",
+				w.Eng.Pending(), w.pendingOps, w.inflight, bound)
+		}
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden fixtures from the current engine")
+
+// goldenScenario is a fully seeded run whose observable outcome — message
+// tallies, grant order, regenerations and the final virtual clock — is
+// pinned by a fixture recorded from the reference engine. Any engine
+// change that alters scheduling order, same-instant FIFO tie-breaking or
+// timer-cancellation semantics shows up as a fixture diff.
+type goldenScenario struct {
+	name string
+	run  func(t *testing.T) string
+}
+
+// goldenSummary renders the observable outcome of a finished run.
+func goldenSummary(w *Network, rec *trace.Recorder, grantOrder []ocube.Pos) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %s\n", rec.String())
+	fmt.Fprintf(&b, "grants: %d\n", w.Grants())
+	fmt.Fprintf(&b, "violations: %d\n", w.Violations())
+	fmt.Fprintf(&b, "regenerations: %d\n", w.Regenerations())
+	fmt.Fprintf(&b, "live-tokens: %d\n", w.LiveTokens())
+	fmt.Fprintf(&b, "now: %v\n", w.Eng.Now())
+	order := make([]string, len(grantOrder))
+	for i, x := range grantOrder {
+		order[i] = x.String()
+	}
+	fmt.Fprintf(&b, "grant-order: %s\n", strings.Join(order, " "))
+	return b.String()
+}
+
+func goldenScenarios() []goldenScenario {
+	return []goldenScenario{
+		{
+			// Failure-free contention with non-FIFO delays: pins the
+			// request/token interleaving produced by the seeded delay draws.
+			name: "failure_free_contended",
+			run: func(t *testing.T) string {
+				rec := &trace.Recorder{}
+				w, err := New(Config{
+					P:        4,
+					Seed:     1993,
+					Delay:    UniformDelay(time.Millisecond/2, 2*time.Millisecond),
+					Recorder: rec,
+					CSTime: func(rng *rand.Rand) time.Duration {
+						return time.Duration(rng.Int63n(int64(time.Millisecond)))
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var order []ocube.Pos
+				w.OnGrant(func(x ocube.Pos) { order = append(order, x) })
+				for i := 0; i < w.N(); i++ {
+					w.RequestCS(ocube.Pos(i), time.Duration(i%5)*time.Millisecond)
+				}
+				if !w.RunUntilQuiescent(time.Hour) {
+					t.Fatal("no quiescence")
+				}
+				return goldenSummary(w, rec, order)
+			},
+		},
+		{
+			// Every request lands at the same instant with zero transmission
+			// delay: the outcome is decided purely by the engine's FIFO
+			// same-instant tie-breaking.
+			name: "same_instant_fifo",
+			run: func(t *testing.T) string {
+				rec := &trace.Recorder{}
+				w, err := New(Config{
+					P:        3,
+					Seed:     7,
+					Delay:    FixedDelay(0),
+					Recorder: rec,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var order []ocube.Pos
+				w.OnGrant(func(x ocube.Pos) { order = append(order, x) })
+				for i := w.N() - 1; i >= 0; i-- {
+					w.RequestCS(ocube.Pos(i), 0)
+				}
+				if !w.RunUntilQuiescent(time.Hour) {
+					t.Fatal("no quiescence")
+				}
+				return goldenSummary(w, rec, order)
+			},
+		},
+		{
+			// Fault-tolerant run with no failures: every suspicion and
+			// token-return timer is armed and then cancelled or superseded,
+			// pinning the timer-cancellation bookkeeping without any firing.
+			name: "ft_timers_cancelled",
+			run: func(t *testing.T) string {
+				rec := &trace.Recorder{}
+				w, err := New(Config{
+					P:        3,
+					Seed:     41,
+					Delay:    UniformDelay(time.Millisecond/2, time.Millisecond),
+					Recorder: rec,
+					Node: core.Config{FT: true, Delta: time.Millisecond,
+						CSEstimate: time.Millisecond, SuspicionSlack: 24 * time.Millisecond},
+					CSTime: func(rng *rand.Rand) time.Duration {
+						return time.Duration(rng.Int63n(int64(time.Millisecond)))
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var order []ocube.Pos
+				w.OnGrant(func(x ocube.Pos) { order = append(order, x) })
+				for round := 0; round < 3; round++ {
+					for i := 0; i < w.N(); i++ {
+						w.RequestCS(ocube.Pos(i),
+							time.Duration(round*40+i)*time.Millisecond)
+					}
+				}
+				if !w.RunUntilQuiescent(time.Hour) {
+					t.Fatal("no quiescence")
+				}
+				return goldenSummary(w, rec, order)
+			},
+		},
+		{
+			// Failure, repair and recovery under load: pins suspicion fires,
+			// search_father rounds, token regeneration and the rejoin, i.e.
+			// the paths where live timer fires and cancellations interleave.
+			name: "ft_fail_recover",
+			run: func(t *testing.T) string {
+				rec := &trace.Recorder{}
+				w, err := New(Config{
+					P:        3,
+					Seed:     99,
+					Delay:    UniformDelay(time.Millisecond, 4*time.Millisecond),
+					Recorder: rec,
+					Node: core.Config{FT: true, Delta: 4 * time.Millisecond,
+						CSEstimate: 4 * time.Millisecond, SuspicionSlack: 20 * time.Millisecond},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var order []ocube.Pos
+				w.OnGrant(func(x ocube.Pos) { order = append(order, x) })
+				for i := 0; i < 6; i++ {
+					w.RequestCS(ocube.Pos(i), time.Duration(i)*time.Millisecond)
+				}
+				w.Fail(2, 5*time.Millisecond)
+				w.Recover(2, 500*time.Millisecond)
+				w.RequestCS(2, 600*time.Millisecond)
+				if !w.RunUntilQuiescent(time.Hour) {
+					t.Fatal("no quiescence")
+				}
+				return goldenSummary(w, rec, order)
+			},
+		},
+		{
+			// Root failure with the token: exhaustion search, confirmation
+			// sweep and token regeneration — the heaviest timer workload.
+			name: "ft_root_death_regeneration",
+			run: func(t *testing.T) string {
+				rec := &trace.Recorder{}
+				w, err := New(Config{
+					P:        3,
+					Seed:     5,
+					Delay:    FixedDelay(time.Millisecond),
+					Recorder: rec,
+					Node: core.Config{FT: true, Delta: time.Millisecond,
+						CSEstimate: time.Millisecond, SuspicionSlack: 24 * time.Millisecond},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var order []ocube.Pos
+				w.OnGrant(func(x ocube.Pos) { order = append(order, x) })
+				w.Fail(0, 0) // the initial root holds the token
+				w.RequestCS(4, 2*time.Millisecond)
+				w.RequestCS(6, 3*time.Millisecond)
+				if !w.RunUntilQuiescent(time.Hour) {
+					t.Fatal("no quiescence")
+				}
+				return goldenSummary(w, rec, order)
+			},
+		},
+	}
+}
+
+// TestGoldenTraces replays the recorded scenarios and compares every
+// observable against fixtures generated with the reference engine
+// (refresh with go test ./internal/sim -run TestGoldenTraces -update-golden).
+func TestGoldenTraces(t *testing.T) {
+	for _, sc := range goldenScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			got := sc.run(t)
+			path := filepath.Join("testdata", "golden_"+sc.name+".txt")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("run diverged from fixture %s:\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -58,13 +58,20 @@ type Config struct {
 type Network struct {
 	Eng *Engine
 
-	cfg   Config
-	n     int
-	nodes []*core.Node
-	down  []bool
-	rng   *rand.Rand
+	cfg     Config
+	n       int
+	nodes   []*core.Node
+	down    []bool
+	rng     *rand.Rand
+	logging bool
 
 	onGrant func(ocube.Pos)
+
+	// busy caches, per node, the protocol-activity predicate scanned by
+	// Busy(); it is refreshed after every event that touches a node, so
+	// quiescence detection is O(1) per event instead of O(N).
+	busy  []bool
+	busyN int
 
 	inflight       int // undelivered messages
 	inflightTokens int // undelivered token messages
@@ -86,13 +93,16 @@ func New(cfg Config) (*Network, error) {
 	}
 	n := 1 << cfg.P
 	w := &Network{
-		Eng:   &Engine{},
-		cfg:   cfg,
-		n:     n,
-		nodes: make([]*core.Node, n),
-		down:  make([]bool, n),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		Eng:     &Engine{},
+		cfg:     cfg,
+		n:       n,
+		nodes:   make([]*core.Node, n),
+		down:    make([]bool, n),
+		busy:    make([]bool, n),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		logging: cfg.Logf != nil,
 	}
+	w.Eng.bind(w, n*core.NumTimerKinds)
 	for i := 0; i < n; i++ {
 		nc := cfg.Node
 		nc.Self = ocube.Pos(i)
@@ -147,27 +157,78 @@ func (w *Network) logf(format string, args ...any) {
 // delay d of virtual time.
 func (w *Network) RequestCS(x ocube.Pos, d time.Duration) {
 	w.pendingOps++
-	w.Eng.After(d, func() {
-		w.pendingOps--
-		if w.down[x] {
-			return
-		}
-		effs, err := w.nodes[x].RequestCS()
-		if err != nil {
-			w.logf("node %v RequestCS: %v", x, err)
-			return
-		}
-		w.logf("node %v requests CS", x)
-		w.apply(x, effs)
-	})
+	w.Eng.schedule(d, evRequest, int32(x))
 }
 
 // Fail crashes node x after delay d: it stops processing and every
 // message in flight towards it is lost.
 func (w *Network) Fail(x ocube.Pos, d time.Duration) {
 	w.pendingOps++
-	w.Eng.After(d, func() {
+	w.Eng.schedule(d, evFail, int32(x))
+}
+
+// Recover restarts node x after delay d; it rejoins via search_father.
+func (w *Network) Recover(x ocube.Pos, d time.Duration) {
+	w.pendingOps++
+	w.Eng.schedule(d, evRecover, int32(x))
+}
+
+// handle is the engine's typed-event dispatcher: every simulation action
+// scheduled by the network comes back through this single switch. Each
+// event touches exactly one node, whose cached busy bit is refreshed at
+// the end.
+func (w *Network) handle(ent heapEntry) {
+	var x ocube.Pos
+	switch ent.kind {
+	case evDeliver:
+		m := w.Eng.takeMsg(ent.ref)
+		x = m.To
+		w.inflight--
+		if m.Kind == core.KindToken {
+			w.inflightTokens--
+		}
+		if w.down[x] {
+			w.lostToFailed++
+			if w.logging {
+				w.logf("LOST at failed node: %v", m)
+			}
+			return
+		}
+		w.apply(x, w.nodes[x].HandleMessage(m))
+	case evTimer:
+		key := ent.ref
+		var kind core.TimerKind
+		x, kind = timerFromKey(key)
+		if w.down[x] {
+			return
+		}
+		gen := w.Eng.slotGen[key]
+		if w.nodes[x].TimerGen(kind) != gen {
+			// Dead timer: cancelled or superseded after its last re-arm,
+			// with no chance for the slot table to reuse its entry.
+			return
+		}
+		w.apply(x, w.nodes[x].HandleTimer(kind, gen))
+	case evRequest:
 		w.pendingOps--
+		x = ocube.Pos(ent.ref)
+		if w.down[x] {
+			return
+		}
+		effs, err := w.nodes[x].RequestCS()
+		if err != nil {
+			if w.logging {
+				w.logf("node %v RequestCS: %v", x, err)
+			}
+			return
+		}
+		if w.logging {
+			w.logf("node %v requests CS", x)
+		}
+		w.apply(x, effs)
+	case evFail:
+		w.pendingOps--
+		x = ocube.Pos(ent.ref)
 		if w.down[x] {
 			return
 		}
@@ -175,22 +236,61 @@ func (w *Network) Fail(x ocube.Pos, d time.Duration) {
 			w.inCS--
 		}
 		w.down[x] = true
-		w.logf("node %v FAILS", x)
-	})
-}
-
-// Recover restarts node x after delay d; it rejoins via search_father.
-func (w *Network) Recover(x ocube.Pos, d time.Duration) {
-	w.pendingOps++
-	w.Eng.After(d, func() {
+		if w.logging {
+			w.logf("node %v FAILS", x)
+		}
+	case evRecover:
 		w.pendingOps--
+		x = ocube.Pos(ent.ref)
 		if !w.down[x] {
 			return
 		}
 		w.down[x] = false
-		w.logf("node %v RECOVERS", x)
+		if w.logging {
+			w.logf("node %v RECOVERS", x)
+		}
 		w.apply(x, w.nodes[x].Recover())
-	})
+	case evRelease:
+		w.pendingOps--
+		x = ocube.Pos(ent.ref)
+		if w.down[x] {
+			return
+		}
+		effs, err := w.nodes[x].ReleaseCS()
+		if err != nil {
+			// The node is no longer in the CS this release was scheduled
+			// for (it failed there and recovered): the failure already
+			// settled the inCS account, so decrementing here would drive
+			// it negative and mask later violations.
+			if w.logging {
+				w.logf("node %v ReleaseCS: %v", x, err)
+			}
+			return
+		}
+		w.inCS--
+		if w.logging {
+			w.logf("node %v releases CS", x)
+		}
+		w.apply(x, effs)
+	}
+	w.refreshBusy(x)
+}
+
+// refreshBusy recomputes node x's contribution to the busy count.
+func (w *Network) refreshBusy(x ocube.Pos) {
+	b := false
+	if !w.down[x] {
+		node := w.nodes[x]
+		b = node.Asking() || node.InCS() || node.QueueLen() > 0 || node.Searching()
+	}
+	if b != w.busy[x] {
+		w.busy[x] = b
+		if b {
+			w.busyN++
+		} else {
+			w.busyN--
+		}
+	}
 }
 
 // apply executes a node's effects: sends become future deliveries, timers
@@ -205,29 +305,33 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 		case core.Send:
 			w.deliver(e.Msg)
 		case core.StartTimer:
-			kind, gen := e.Kind, e.Gen
-			w.Eng.After(e.Delay, func() {
-				if w.down[x] {
-					return
-				}
-				w.apply(x, w.nodes[x].HandleTimer(kind, gen))
-			})
+			w.Eng.scheduleTimer(timerKey(x, e.Kind), e.Gen, e.Delay)
 		case core.Grant:
 			w.enterCS(x)
 		case core.TokenRegenerated:
 			w.regenerations++
-			w.logf("node %v regenerates token: %s", x, e.Reason)
+			if w.logging {
+				w.logf("node %v regenerates token: %s", x, e.Reason)
+			}
 		case core.Dropped:
-			w.logf("node %v drops %v: %s", x, e.Msg, e.Reason)
+			if w.logging {
+				w.logf("node %v drops %v: %s", x, e.Msg, e.Reason)
+			}
 			if e.Msg.Kind == core.KindToken {
 				// An intentionally sacrificed token is no longer live.
 			}
 		case core.BecameRoot:
-			w.logf("node %v becomes root: %s", x, e.Reason)
+			if w.logging {
+				w.logf("node %v becomes root: %s", x, e.Reason)
+			}
 		case core.SearchStarted:
-			w.logf("node %v starts search_father at phase %d", x, e.Phase)
+			if w.logging {
+				w.logf("node %v starts search_father at phase %d", x, e.Phase)
+			}
 		case core.SearchEnded:
-			w.logf("node %v ends search_father: father=%v tested=%d", x, e.Father, e.Tested)
+			if w.logging {
+				w.logf("node %v ends search_father: father=%v tested=%d", x, e.Father, e.Tested)
+			}
 		}
 	}
 }
@@ -240,19 +344,10 @@ func (w *Network) deliver(m Message) {
 	if m.Kind == core.KindToken {
 		w.inflightTokens++
 	}
-	w.logf("send %v (delay %v)", m, d)
-	w.Eng.After(d, func() {
-		w.inflight--
-		if m.Kind == core.KindToken {
-			w.inflightTokens--
-		}
-		if w.down[m.To] {
-			w.lostToFailed++
-			w.logf("LOST at failed node: %v", m)
-			return
-		}
-		w.apply(m.To, w.nodes[m.To].HandleMessage(m))
-	})
+	if w.logging {
+		w.logf("send %v (delay %v)", m, d)
+	}
+	w.Eng.scheduleMsg(d, m)
 }
 
 // Message is re-exported for DelayFn implementors' convenience.
@@ -271,27 +366,16 @@ func (w *Network) enterCS(x ocube.Pos) {
 	w.inCS++
 	if w.inCS > 1 {
 		w.violations++
-		w.logf("SAFETY VIOLATION: %d nodes in CS", w.inCS)
+		if w.logging {
+			w.logf("SAFETY VIOLATION: %d nodes in CS", w.inCS)
+		}
 	}
 	var dur time.Duration
 	if w.cfg.CSTime != nil {
 		dur = w.cfg.CSTime(w.rng)
 	}
 	w.pendingOps++
-	w.Eng.After(dur, func() {
-		w.pendingOps--
-		if w.down[x] {
-			return
-		}
-		w.inCS--
-		effs, err := w.nodes[x].ReleaseCS()
-		if err != nil {
-			w.logf("node %v ReleaseCS: %v", x, err)
-			return
-		}
-		w.logf("node %v releases CS", x)
-		w.apply(x, effs)
-	})
+	w.Eng.schedule(dur, evRelease, int32(x))
 }
 
 // record tallies a sent message with the run's recorder.
@@ -328,20 +412,11 @@ func (w *Network) record(m Message) {
 // Busy reports whether any protocol activity is outstanding: in-flight
 // messages, scheduled operations, or nodes that are asking, queueing,
 // searching or in their critical section. Pending timers alone do not
-// make the network busy.
+// make the network busy. The per-node predicate is cached incrementally
+// (refreshBusy), so this is O(1) and cheap enough for RunWhile to call
+// before every event.
 func (w *Network) Busy() bool {
-	if w.inflight > 0 || w.pendingOps > 0 {
-		return true
-	}
-	for i, node := range w.nodes {
-		if w.down[i] {
-			continue
-		}
-		if node.Asking() || node.InCS() || node.QueueLen() > 0 || node.Searching() {
-			return true
-		}
-	}
-	return false
+	return w.inflight > 0 || w.pendingOps > 0 || w.busyN > 0
 }
 
 // RunUntilQuiescent steps until no protocol activity remains or virtual

@@ -21,6 +21,19 @@
 // harness regenerating the paper's tables, and the Raymond/Naimi-Trehel
 // baselines — live under internal/ and are exercised by cmd/ocmxbench and
 // the repository's benchmarks.
+//
+// The simulator (internal/sim) runs on a typed-event engine: an inlined
+// 4-ary min-heap of tagged-union events (message delivery, timer fire,
+// scheduled operation) dispatched by a single switch, with per-(node,
+// timer kind) slots that reschedule re-armed timers in place rather than
+// accumulating dead heap entries. The hot loop allocates nothing per
+// event and replays bit-for-bit from a seed (see DESIGN.md §8). The
+// experiment harness distributes its independent (p, seed, probe) cells
+// over a worker pool — ocmxbench's -parallel flag, harness.SetParallelism
+// in code — with byte-identical tables at any worker count, and
+// ocmxbench -json <label> records engine performance (events/sec, ns/op,
+// allocs/op) as BENCH_<label>.json for PR-over-PR comparison (divide
+// like fields between two files; EXPERIMENTS.md keeps the history).
 package opencubemx
 
 import (
