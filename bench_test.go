@@ -241,6 +241,26 @@ func BenchmarkE6Adaptivity(b *testing.B) {
 	}
 }
 
+// BenchmarkE7LargeP runs the smallest large-P scaling cell (N=256,
+// failure-free and fault-tolerant): messages per critical section
+// against Lavault's average-case prediction and the paper's O(log²N)
+// envelope. The full P=8..12 sweep is `ocmxbench -exp e7 -full`.
+func BenchmarkE7LargeP(b *testing.B) {
+	b.ReportAllocs()
+	var row harness.E7Row
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.E7LargeP([]int{8}, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		row = rows[0]
+	}
+	b.ReportMetric(row.FFMsgsPerCS, "ff-msgs/CS")
+	b.ReportMetric(row.Lavault, "lavault")
+	b.ReportMetric(row.FTMsgsPerCS, "ft-msgs/CS")
+	b.ReportMetric(row.Log2Sq, "log2sqN")
+}
+
 // BenchmarkEngineThroughput saturates the discrete-event engine with a
 // seeded 64-node workload (16·N staggered requests to quiescence) and
 // reports delivered protocol messages per wall-clock second. The ft=on

@@ -151,6 +151,15 @@ func benchJSON(label string, seed int64) error {
 			}
 			return 0, 0, fmt.Errorf("e6: no open-cube row")
 		}},
+		// e7_n256 is new in PR 2 (no counterpart in earlier BENCH files):
+		// the smallest large-P cell, failure-free + fault-tolerant.
+		{"e7_n256", "ft msgs/CS (large-P)", func() (int64, float64, error) {
+			rows, err := harness.E7LargeP([]int{8}, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			return 0, rows[0].FTMsgsPerCS, nil
+		}},
 	}
 
 	out := benchFile{

@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6] [-seed N] [-full] [-parallel N] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7] [-seed N] [-full] [-parallel N] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
-// and extends the size sweeps.
+// and extends the size sweeps; for E7 it extends the large-P sweep to
+// its full P=8..12 range (N=4096).
 //
 // -parallel N distributes independent experiment cells over N workers
 // (0, the default, uses GOMAXPROCS; 1 forces the sequential sweep). The
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -145,6 +146,19 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatE5(rows))
+		return nil
+	})
+
+	run("e7", func() error {
+		ps := []int{8, 9, 10}
+		if *full {
+			ps = append(ps, 11, 12)
+		}
+		rows, err := harness.E7LargeP(ps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE7(rows))
 		return nil
 	})
 }

@@ -111,15 +111,15 @@ func (n *Node) apply(effs []core.Effect) {
 			hook(e)
 		}
 		switch e := e.(type) {
-		case core.Send:
+		case *core.Send:
 			// Transport errors are equivalent to message loss, which the
 			// failure machinery already tolerates.
 			_ = n.tr.Send(e.Msg)
-		case core.StartTimer:
-			n.armTimer(e)
-		case core.Grant:
+		case *core.StartTimer:
+			n.armTimer(*e)
+		case *core.Grant:
 			select {
-			case n.grantC <- e:
+			case n.grantC <- *e:
 			default:
 			}
 		}

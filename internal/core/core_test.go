@@ -66,7 +66,7 @@ func TestRootDirectGrantAndRelease(t *testing.T) {
 	}
 	var granted bool
 	for _, e := range effs {
-		if g, ok := e.(Grant); ok {
+		if g, ok := e.(*Grant); ok {
 			granted = true
 			if g.Lender != 0 {
 				t.Errorf("lender = %v, want self", g.Lender)
@@ -84,7 +84,7 @@ func TestRootDirectGrantAndRelease(t *testing.T) {
 		t.Fatalf("ReleaseCS: %v", err)
 	}
 	for _, e := range effs {
-		if s, ok := e.(Send); ok {
+		if s, ok := e.(*Send); ok {
 			t.Errorf("root release sent %v; must keep the token", s.Msg)
 		}
 	}
@@ -104,7 +104,7 @@ func TestLeafRequestSendsToFather(t *testing.T) {
 	}
 	var sent *Message
 	for _, e := range effs {
-		if s, ok := e.(Send); ok {
+		if s, ok := e.(*Send); ok {
 			m := s.Msg
 			sent = &m
 		}
@@ -175,8 +175,8 @@ func TestStaleTimerIgnored(t *testing.T) {
 	}
 	var st *StartTimer
 	for _, e := range effs {
-		if s, ok := e.(StartTimer); ok && s.Kind == TimerSuspicion {
-			v := s
+		if s, ok := e.(*StartTimer); ok && s.Kind == TimerSuspicion {
+			v := *s // copy: the arena value expires at the next node call
 			st = &v
 		}
 	}
@@ -193,7 +193,7 @@ func TestStaleTimerIgnored(t *testing.T) {
 	}
 	var started bool
 	for _, e := range effs {
-		if _, ok := e.(SearchStarted); ok {
+		if _, ok := e.(*SearchStarted); ok {
 			started = true
 		}
 	}
@@ -209,7 +209,7 @@ func TestUnexpectedLentTokenDropped(t *testing.T) {
 	effs := n.HandleMessage(Message{Kind: KindToken, From: 0, To: 3, Lender: 0})
 	var dropped bool
 	for _, e := range effs {
-		if _, ok := e.(Dropped); ok {
+		if _, ok := e.(*Dropped); ok {
 			dropped = true
 		}
 	}
@@ -225,7 +225,7 @@ func TestUnexpectedUnlentTokenAdopted(t *testing.T) {
 	effs := n.HandleMessage(Message{Kind: KindToken, From: 0, To: 3, Lender: ocube.None})
 	var becameRoot bool
 	for _, e := range effs {
-		if _, ok := e.(BecameRoot); ok {
+		if _, ok := e.(*BecameRoot); ok {
 			becameRoot = true
 		}
 	}
@@ -242,7 +242,7 @@ func TestRequestTargetingSelfDropped(t *testing.T) {
 	effs := n.HandleMessage(Message{Kind: KindRequest, From: 1, To: 3, Target: 3, Source: 3, Seq: seqStride})
 	var dropped bool
 	for _, e := range effs {
-		if d, ok := e.(Dropped); ok && strings.Contains(d.Reason, "self") {
+		if d, ok := e.(*Dropped); ok && strings.Contains(d.Reason, "self") {
 			dropped = true
 		}
 	}
@@ -260,7 +260,7 @@ func TestStaleSequenceDropped(t *testing.T) {
 	effs := n.HandleMessage(stale)
 	var dropped bool
 	for _, e := range effs {
-		if d, ok := e.(Dropped); ok && strings.Contains(d.Reason, "stale") {
+		if d, ok := e.(*Dropped); ok && strings.Contains(d.Reason, "stale") {
 			dropped = true
 		}
 	}
@@ -328,7 +328,33 @@ func TestUnknownMessageKindDropped(t *testing.T) {
 	if len(effs) != 1 {
 		t.Fatalf("effects = %v, want single drop", effs)
 	}
-	if _, ok := effs[0].(Dropped); !ok {
+	if _, ok := effs[0].(*Dropped); !ok {
 		t.Errorf("effect = %T, want Dropped", effs[0])
+	}
+}
+
+func TestOutOfRangeSourceDropped(t *testing.T) {
+	// Malformed network input: a request whose Source (or Target) is
+	// outside the position range must be dropped before it reaches the
+	// tracking table, whose empty-slot sentinel is ocube.None (-1).
+	n := newTestNode(t, 0, 2)
+	for _, m := range []Message{
+		{Kind: KindRequest, From: 1, To: 0, Target: 2, Source: ocube.None, Seq: seqStride},
+		{Kind: KindRequest, From: 1, To: 0, Target: 2, Source: 99, Seq: seqStride},
+		{Kind: KindRequest, From: 1, To: 0, Target: ocube.None, Source: 2, Seq: seqStride},
+	} {
+		effs := n.HandleMessage(m)
+		var dropped bool
+		for _, e := range effs {
+			if d, ok := e.(*Dropped); ok && strings.Contains(d.Reason, "out of range") {
+				dropped = true
+			}
+		}
+		if !dropped || n.QueueLen() != 0 || !n.TokenHere() {
+			t.Errorf("malformed request %v was not dropped cleanly", m)
+		}
+		if err := n.CheckPools(); err != nil {
+			t.Errorf("after %v: %v", m, err)
+		}
 	}
 }

@@ -60,7 +60,47 @@ func (k TimerKind) String() string {
 // Effect is an action requested by the state machine; drivers (the
 // discrete-event simulator or the live goroutine runtime) execute effects
 // in order.
+//
+// Effects are handed out as pointers into per-node scratch arenas that
+// are recycled at the next call into the node: a driver must execute (or
+// copy) every effect of a returned slice before delivering further
+// inputs to that node, the same lifetime rule the effect slice itself
+// has always had. Boxing pointers instead of values keeps the hot path
+// allocation-free — emitting an effect never touches the heap once the
+// arenas are warm.
 type Effect interface{ effect() }
+
+// effectArena holds the per-node scratch storage behind the Effect
+// pointers handed to drivers. Each slice is truncated (capacity kept)
+// when the next driver call begins.
+type effectArena struct {
+	sends  []Send
+	timers []StartTimer
+	grants []Grant
+	drops  []Dropped
+	regens []TokenRegenerated
+	roots  []BecameRoot
+	starts []SearchStarted
+	ends   []SearchEnded
+}
+
+// reset recycles every arena for the next accumulation cycle.
+func (a *effectArena) reset() {
+	a.sends = a.sends[:0]
+	a.timers = a.timers[:0]
+	a.grants = a.grants[:0]
+	a.drops = a.drops[:0]
+	a.regens = a.regens[:0]
+	a.roots = a.roots[:0]
+	a.starts = a.starts[:0]
+	a.ends = a.ends[:0]
+}
+
+// len counts the live arena entries (pool-invariant checks only).
+func (a *effectArena) len() int {
+	return len(a.sends) + len(a.timers) + len(a.grants) + len(a.drops) +
+		len(a.regens) + len(a.roots) + len(a.starts) + len(a.ends)
+}
 
 // Send transmits a message. Msg.From and Msg.To are always set.
 type Send struct{ Msg Message }
@@ -109,11 +149,14 @@ type SearchEnded struct {
 	Tested int
 }
 
-func (Send) effect()             {}
-func (Grant) effect()            {}
-func (StartTimer) effect()       {}
-func (TokenRegenerated) effect() {}
-func (BecameRoot) effect()       {}
-func (Dropped) effect()          {}
-func (SearchStarted) effect()    {}
-func (SearchEnded) effect()      {}
+// The effect marker is on the pointer receiver: nodes emit *Send,
+// *Grant, … pointing into their scratch arenas, and drivers type-switch
+// on the pointer types.
+func (*Send) effect()             {}
+func (*Grant) effect()            {}
+func (*StartTimer) effect()       {}
+func (*TokenRegenerated) effect() {}
+func (*BecameRoot) effect()       {}
+func (*Dropped) effect()          {}
+func (*SearchStarted) effect()    {}
+func (*SearchEnded) effect()      {}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/ocube"
@@ -16,16 +16,40 @@ import (
 // tests every node at open-cube distance d; unanswered nodes are discarded
 // after a 2δ round, try-later answers are retested in the next round, and
 // a phase with every candidate discarded moves the search to phase d+1.
+//
+// The candidate sets are pooled slices whose capacity survives across
+// searches (clearSearch truncates, never frees): outstanding is kept
+// sorted ascending so membership is a binary search, and deferred
+// accumulates in answer-arrival order and is re-sorted before each
+// retest round, preserving the position-ordered probe sequence that
+// seeded replay depends on.
 type searchState struct {
 	active      bool
 	phase       int
-	startPhase  int                // phase the search began at
-	sweeps      int                // completed failed full sweeps (from phase 1)
-	outstanding map[ocube.Pos]bool // probed this round, answer pending
-	deferred    map[ocube.Pos]bool // answered try-later; probe again next round
-	remaining   int                // candidates not yet discarded this phase
-	tested      int                // total test messages sent this search
-	recovery    bool               // search started by Recover (no request to re-issue)
+	startPhase  int         // phase the search began at
+	sweeps      int         // completed failed full sweeps (from phase 1)
+	outstanding []ocube.Pos // probed this round, answer pending (sorted)
+	deferred    []ocube.Pos // answered try-later; probe again next round
+	remaining   int         // candidates not yet discarded this phase
+	tested      int         // total test messages sent this search
+	recovery    bool        // search started by Recover (no request to re-issue)
+}
+
+// clearSearch resets the search state, keeping the candidate slices'
+// capacity for the next search.
+func (s *searchState) clear() {
+	s.active, s.recovery = false, false
+	s.phase, s.startPhase, s.sweeps, s.remaining, s.tested = 0, 0, 0, 0, 0
+	s.outstanding = s.outstanding[:0]
+	s.deferred = s.deferred[:0]
+}
+
+// searchPos returns the index of k in the sorted slice s, or -1.
+func searchPos(s []ocube.Pos, k ocube.Pos) int {
+	if i, ok := slices.BinarySearch(s, k); ok {
+		return i
+	}
+	return -1
 }
 
 // slack returns the configured timeout slack, never less than δ/8 so that
@@ -169,7 +193,7 @@ func (n *Node) regenerateToken(reason string) {
 	n.loanSource, n.loanTarget = ocube.None, ocube.None
 	n.returnGrace = false
 	n.tokenHere = true
-	n.emit(TokenRegenerated{Reason: reason})
+	n.emitRegenerated(reason)
 	n.asking = false
 	n.drain()
 }
@@ -203,10 +227,12 @@ func (n *Node) onTransferTimeout() {
 		return
 	}
 	n.xferPending = false
-	if n.xferSource != ocube.None && n.granted[n.xferSource] == n.xferSeq {
-		// The transfer never reached its recipient, so the source was not
-		// actually granted: let its re-issued request through.
-		delete(n.granted, n.xferSource)
+	if n.xferSource != ocube.None {
+		if tr := n.track.lookup(n.xferSource); tr != nil && tr.hasGrant && tr.grantSeq == n.xferSeq {
+			// The transfer never reached its recipient, so the source was
+			// not actually granted: let its re-issued request through.
+			tr.hasGrant = false
+		}
 	}
 	if n.search.active {
 		n.endSearch()
@@ -219,9 +245,9 @@ func (n *Node) onTransferTimeout() {
 // mandate, or the queue.
 func (n *Node) becomeRootWithToken(reason string) {
 	n.father = ocube.None
-	n.emit(BecameRoot{Reason: reason})
+	n.emitBecameRoot(reason)
 	n.tokenHere = true
-	n.emit(TokenRegenerated{Reason: reason})
+	n.emitRegenerated(reason)
 	switch {
 	case n.mandator == n.cfg.Self:
 		// Our own claim: enter the critical section as the new root.
@@ -231,7 +257,7 @@ func (n *Node) becomeRootWithToken(reason string) {
 		n.mandator = ocube.None
 		n.curSource = ocube.None
 		n.inCS = true
-		n.emit(Grant{Lender: n.cfg.Self})
+		n.emitGrant(n.cfg.Self)
 		// asking remains true until ReleaseCS.
 	case n.mandator != ocube.None:
 		// Serve the mandate by lending the regenerated token.
@@ -256,8 +282,10 @@ func (n *Node) startSearch(phase int, recovery bool) {
 	if phase < 1 {
 		phase = 1
 	}
-	n.search = searchState{active: true, phase: phase, startPhase: phase, recovery: recovery}
-	n.emit(SearchStarted{Phase: phase})
+	s := &n.search
+	s.clear()
+	s.active, s.phase, s.startPhase, s.recovery = true, phase, phase, recovery
+	n.emitSearchStarted(phase)
 	if phase > n.cfg.P {
 		n.searchExhausted()
 		return
@@ -268,12 +296,10 @@ func (n *Node) startSearch(phase int, recovery bool) {
 // startPhase probes every node at distance search.phase.
 func (n *Node) startPhase() {
 	s := &n.search
-	cands := ocube.AtDist(n.cfg.Self, s.phase)
-	s.outstanding = make(map[ocube.Pos]bool, len(cands))
-	s.deferred = make(map[ocube.Pos]bool)
-	s.remaining = len(cands)
-	for _, k := range cands {
-		s.outstanding[k] = true
+	s.outstanding = ocube.AppendAtDist(s.outstanding[:0], n.cfg.Self, s.phase)
+	s.deferred = s.deferred[:0]
+	s.remaining = len(s.outstanding)
+	for _, k := range s.outstanding {
 		s.tested++
 		n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
 	}
@@ -289,23 +315,19 @@ func (n *Node) onSearchRound() {
 	}
 	s := &n.search
 	s.remaining -= len(s.outstanding) // no answer within 2δ: discarded
-	s.outstanding = make(map[ocube.Pos]bool, len(s.deferred))
+	s.outstanding = s.outstanding[:0]
 	if s.remaining > 0 {
-		// Probe again in ascending position order: ranging over the map
-		// directly would attach this round's sends (and the simulator's
-		// seeded delay draws) to candidates in a per-process-random order,
-		// breaking bit-for-bit replay whenever two nodes deferred.
-		cands := make([]ocube.Pos, 0, len(s.deferred))
-		for k := range s.deferred {
-			cands = append(cands, k)
-		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
-		for _, k := range cands {
-			s.outstanding[k] = true
+		// Probe again in ascending position order: retesting in
+		// answer-arrival order would attach this round's sends (and the
+		// simulator's seeded delay draws) to candidates in a run-dependent
+		// order, breaking bit-for-bit replay whenever two nodes deferred.
+		slices.Sort(s.deferred)
+		s.outstanding = append(s.outstanding, s.deferred...)
+		s.deferred = s.deferred[:0]
+		for _, k := range s.outstanding {
 			s.tested++
 			n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
 		}
-		s.deferred = make(map[ocube.Pos]bool)
 		n.armTimer(TimerSearchRound, n.roundDelay())
 		return
 	}
@@ -374,8 +396,12 @@ func (n *Node) onTest(m Message) {
 // onTestReply processes an answer to one of our probes.
 func (n *Node) onTestReply(m Message) {
 	s := &n.search
-	if !s.active || m.Phase != s.phase || !s.outstanding[m.From] {
+	if !s.active || m.Phase != s.phase {
 		return // stale answer from an earlier phase or search
+	}
+	idx := searchPos(s.outstanding, m.From)
+	if idx < 0 {
+		return // not probed this round (already answered or discarded)
 	}
 	switch m.Reply {
 	case ReplyOK:
@@ -384,13 +410,13 @@ func (n *Node) onTestReply(m Message) {
 			// search concludes: treat it as discarded. Only the junior
 			// side of a searcher pair adopts, so concurrent searches
 			// converge on the smallest searching identity.
-			delete(s.outstanding, m.From)
+			s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
 			s.remaining--
 			return
 		}
 		n.concludeSearch(m.From)
 	case ReplyTryLater:
-		delete(s.outstanding, m.From)
+		s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
 		if n.queuedTarget(m.From) {
 			// The answerer's pending request is queued at this very node
 			// (it adopted us and re-issued): its power cannot increase
@@ -400,7 +426,7 @@ func (n *Node) onTestReply(m Message) {
 			s.remaining--
 			return
 		}
-		s.deferred[m.From] = true
+		s.deferred = append(s.deferred, m.From)
 	}
 }
 
@@ -409,8 +435,8 @@ func (n *Node) onTestReply(m Message) {
 // node) — waits in our queue. Either way k stays asking until we serve
 // that entry, so its try-later answer can never resolve on its own.
 func (n *Node) queuedTarget(k ocube.Pos) bool {
-	for _, q := range n.queue {
-		if !q.local && (q.msg.Target == k || q.msg.Source == k) {
+	for i := n.q.head; i >= 0; i = n.q.arena[i].next {
+		if e := &n.q.arena[i]; !e.local && (e.msg.Target == k || e.msg.Source == k) {
 			return true
 		}
 	}
@@ -423,7 +449,7 @@ func (n *Node) concludeSearch(father ocube.Pos) {
 	tested := n.search.tested
 	n.endSearch()
 	n.father = father
-	n.emit(SearchEnded{Father: father, Tested: tested})
+	n.emitSearchEnded(father, tested)
 	n.reissueRequest()
 }
 
@@ -452,21 +478,23 @@ func (n *Node) searchExhausted() {
 		// shadowed by a regeneration.
 		tested, recovery := n.search.tested, n.search.recovery
 		n.endSearch()
-		n.search = searchState{active: true, phase: 1, startPhase: 1,
-			sweeps: sweeps, recovery: recovery, tested: tested}
-		n.emit(SearchStarted{Phase: 1})
+		s := &n.search
+		s.active, s.phase, s.startPhase = true, 1, 1
+		s.sweeps, s.recovery, s.tested = sweeps, recovery, tested
+		n.emitSearchStarted(1)
 		n.startPhase()
 		return
 	}
 	tested := n.search.tested
 	n.endSearch()
-	n.emit(SearchEnded{Father: ocube.None, Tested: tested})
+	n.emitSearchEnded(ocube.None, tested)
 	n.becomeRootWithToken("search_father exhausted")
 }
 
-// endSearch clears search state and its round timer.
+// endSearch clears search state (keeping its pooled candidate slices)
+// and its round timer.
 func (n *Node) endSearch() {
-	n.search = searchState{}
+	n.search.clear()
 	n.cancelTimer(TimerSearchRound)
 }
 
@@ -511,6 +539,7 @@ func (n *Node) onAnomaly(m Message) {
 // DESIGN.md). The node reconnects by running search_father from phase 1,
 // i.e. as if it were a leaf.
 func (n *Node) Recover() []Effect {
+	n.begin()
 	n.father = ocube.None
 	n.tokenHere = false
 	n.asking = false
@@ -522,9 +551,8 @@ func (n *Node) Recover() []Effect {
 	n.loanSource, n.loanTarget = ocube.None, ocube.None
 	n.returnGrace = false
 	n.xferPending = false
-	n.queue = nil
-	n.seen = nil
-	n.granted = nil
+	n.q.reset()
+	n.track.reset()
 	for k := range n.gens {
 		n.gens[k]++ // invalidate every pre-crash timer
 	}

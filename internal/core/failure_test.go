@@ -24,7 +24,7 @@ func ftNode(t *testing.T, self ocube.Pos, p int) *Node {
 func sends(effs []Effect) []Message {
 	var out []Message
 	for _, e := range effs {
-		if s, ok := e.(Send); ok {
+		if s, ok := e.(*Send); ok {
 			out = append(out, s.Msg)
 		}
 	}
@@ -34,8 +34,8 @@ func sends(effs []Effect) []Message {
 func timers(effs []Effect) []StartTimer {
 	var out []StartTimer
 	for _, e := range effs {
-		if s, ok := e.(StartTimer); ok {
-			out = append(out, s)
+		if s, ok := e.(*StartTimer); ok {
+			out = append(out, *s)
 		}
 	}
 	return out
@@ -150,7 +150,7 @@ func TestDoubleSweepBeforeRegeneration(t *testing.T) {
 	var regenerated bool
 	effs = n.HandleTimer(TimerSearchRound, timers(effs)[0].Gen)
 	for _, e := range effs {
-		if _, ok := e.(TokenRegenerated); ok {
+		if _, ok := e.(*TokenRegenerated); ok {
 			regenerated = true
 		}
 	}
@@ -173,7 +173,7 @@ func TestSingleSweepAblation(t *testing.T) {
 	effs = n.HandleTimer(TimerSearchRound, timers(effs)[0].Gen)
 	var regenerated bool
 	for _, e := range effs {
-		if _, ok := e.(TokenRegenerated); ok {
+		if _, ok := e.(*TokenRegenerated); ok {
 			regenerated = true
 		}
 	}
@@ -283,7 +283,7 @@ func TestTransferTimeoutRegeneratesAndRollsBackGrant(t *testing.T) {
 	effs = n.HandleTimer(TimerTransferAck, ackTimer.Gen)
 	var regenerated bool
 	for _, e := range effs {
-		if _, ok := e.(TokenRegenerated); ok {
+		if _, ok := e.(*TokenRegenerated); ok {
 			regenerated = true
 		}
 	}
@@ -466,7 +466,7 @@ func TestReturnGraceRegeneratesAfterClaimedReturn(t *testing.T) {
 	effs = n.HandleTimer(TimerTokenReturn, grace.Gen)
 	var regenerated bool
 	for _, e := range effs {
-		if _, ok := e.(TokenRegenerated); ok {
+		if _, ok := e.(*TokenRegenerated); ok {
 			regenerated = true
 		}
 	}

@@ -85,21 +85,11 @@ const seqStride = 1 << 20
 // logical request (possibly re-issued by failure recovery).
 func sameRequest(a, b uint64) bool { return a/seqStride == b/seqStride }
 
-// markGranted records that source's request seq was served (lazily
-// allocating the map).
+// markGranted records that source's request seq was served.
 func (n *Node) markGranted(source ocube.Pos, seq uint64) {
-	if n.granted == nil {
-		n.granted = make(map[ocube.Pos]uint64, 4)
-	}
-	n.granted[source] = seq
-}
-
-// queued is a deferred work item: either a local wish to enter the
-// critical section or a received request message, waiting for the node to
-// stop asking (the paper's per-node waiting queue with FIFO service).
-type queued struct {
-	local bool
-	msg   Message
+	e := n.track.ensure(source)
+	e.hasGrant = true
+	e.grantSeq = seq
 }
 
 // Node is the per-node protocol state machine. All methods must be called
@@ -116,22 +106,22 @@ type Node struct {
 	inCS      bool
 	mandator  ocube.Pos // None when no mandate is pending
 	lender    ocube.Pos // meaningful only while in the critical section
-	queue     []queued
-	wantCS    bool // a local enter_cs is queued, pending, or executing
+	q         waitQueue // the paper's per-node waiting queue (pool.go)
+	wantCS    bool      // a local enter_cs is queued, pending, or executing
 
-	// Request bookkeeping (Section 5 extensions).
+	// Request bookkeeping (Section 5 extensions). track pools the
+	// per-source duplicate-discard state (pool.go).
 	seq       uint64    // own request sequence (survives recovery: stable storage)
 	curSource ocube.Pos // source of the request currently mandated
 	curSeq    uint64    // sequence of the request currently mandated
 	csSeq     uint64    // sequence of the request being served in CS
-	seen      map[ocube.Pos]uint64
+	track     trackTable
 
 	// Root loan bookkeeping for the return timeout and enquiry.
 	loanSource  ocube.Pos
 	loanTarget  ocube.Pos
 	loanSeq     uint64
 	returnGrace bool // the source answered "token returned"; grace running
-	granted     map[ocube.Pos]uint64
 
 	// Unlent-transfer guardianship: set while an outright token transfer
 	// or loan return awaits its acknowledgment (FT only).
@@ -144,7 +134,10 @@ type Node struct {
 	search searchState
 	gens   [numTimerKinds + 1]uint64
 
+	// Effect accumulation: effects holds pointers into arena, both
+	// recycled when the next driver call begins (effect.go).
 	effects []Effect
+	arena   effectArena
 }
 
 // NewNode constructs a node in the pristine open-cube configuration: the
@@ -157,10 +150,10 @@ func NewNode(cfg Config) (*Node, error) {
 	if pol == nil {
 		pol = OpenCubePolicy{}
 	}
-	// seen and granted are lazily allocated on first write (nil maps read
-	// as empty): a large simulated network builds 2^P nodes per run and
-	// most never proxy a request.
-	return &Node{
+	// The queue arena and track table are lazily grown on first use: a
+	// large simulated network builds 2^P nodes per run and most never
+	// proxy a request.
+	n := &Node{
 		cfg:        cfg,
 		policy:     pol,
 		father:     ocube.InitialFather(cfg.Self),
@@ -170,7 +163,9 @@ func NewNode(cfg Config) (*Node, error) {
 		curSource:  ocube.None,
 		loanSource: ocube.None,
 		loanTarget: ocube.None,
-	}, nil
+	}
+	n.q.reset()
+	return n, nil
 }
 
 // --- introspection (used by drivers, invariant checkers and tests) ---
@@ -195,7 +190,7 @@ func (n *Node) InCS() bool { return n.inCS }
 func (n *Node) Mandator() ocube.Pos { return n.mandator }
 
 // QueueLen returns the number of deferred work items.
-func (n *Node) QueueLen() int { return len(n.queue) }
+func (n *Node) QueueLen() int { return n.q.n }
 
 // Searching reports whether a search_father procedure is in progress.
 func (n *Node) Searching() bool { return n.search.active }
@@ -218,30 +213,72 @@ func (n *Node) view() View {
 
 // --- effect plumbing ---
 
-func (n *Node) emit(e Effect) { n.effects = append(n.effects, e) }
+// begin starts a new driver call: the effects handed out by the previous
+// call expire now, so the effect slice and its backing arenas are
+// recycled in place. Every public entry point calls it first.
+func (n *Node) begin() {
+	n.effects = n.effects[:0]
+	n.arena.reset()
+}
 
-// take hands the accumulated effects to the driver and recycles the
-// backing array: the returned slice is valid only until the next call
-// into this node, which every driver satisfies by executing (or copying)
-// the effects before delivering further inputs.
+// take hands the accumulated effects to the driver: the returned slice
+// and the arena-pooled values it points into are valid only until the
+// next call into this node, which every driver satisfies by executing
+// (or copying) the effects before delivering further inputs.
 func (n *Node) take() []Effect {
 	if len(n.effects) == 0 {
 		return nil
 	}
-	out := n.effects
-	n.effects = n.effects[:0]
-	return out
+	return n.effects
 }
+
+// The emit helpers append the concrete value to its scratch arena and
+// box a pointer to it, so emission allocates nothing once the arenas are
+// warm. An arena append that grows the backing array leaves earlier
+// pointers aimed at the old array, whose entries are complete and
+// immutable for the rest of the call — still safe to read.
 
 func (n *Node) send(m Message) {
 	m.From = n.cfg.Self
-	n.emit(Send{Msg: m})
+	n.arena.sends = append(n.arena.sends, Send{Msg: m})
+	n.effects = append(n.effects, &n.arena.sends[len(n.arena.sends)-1])
+}
+
+func (n *Node) emitGrant(lender ocube.Pos) {
+	n.arena.grants = append(n.arena.grants, Grant{Lender: lender})
+	n.effects = append(n.effects, &n.arena.grants[len(n.arena.grants)-1])
+}
+
+func (n *Node) emitDropped(m Message, reason string) {
+	n.arena.drops = append(n.arena.drops, Dropped{Msg: m, Reason: reason})
+	n.effects = append(n.effects, &n.arena.drops[len(n.arena.drops)-1])
+}
+
+func (n *Node) emitRegenerated(reason string) {
+	n.arena.regens = append(n.arena.regens, TokenRegenerated{Reason: reason})
+	n.effects = append(n.effects, &n.arena.regens[len(n.arena.regens)-1])
+}
+
+func (n *Node) emitBecameRoot(reason string) {
+	n.arena.roots = append(n.arena.roots, BecameRoot{Reason: reason})
+	n.effects = append(n.effects, &n.arena.roots[len(n.arena.roots)-1])
+}
+
+func (n *Node) emitSearchStarted(phase int) {
+	n.arena.starts = append(n.arena.starts, SearchStarted{Phase: phase})
+	n.effects = append(n.effects, &n.arena.starts[len(n.arena.starts)-1])
+}
+
+func (n *Node) emitSearchEnded(father ocube.Pos, tested int) {
+	n.arena.ends = append(n.arena.ends, SearchEnded{Father: father, Tested: tested})
+	n.effects = append(n.effects, &n.arena.ends[len(n.arena.ends)-1])
 }
 
 // armTimer bumps the generation for kind and schedules a fire.
 func (n *Node) armTimer(kind TimerKind, delay time.Duration) {
 	n.gens[kind]++
-	n.emit(StartTimer{Kind: kind, Gen: n.gens[kind], Delay: delay})
+	n.arena.timers = append(n.arena.timers, StartTimer{Kind: kind, Gen: n.gens[kind], Delay: delay})
+	n.effects = append(n.effects, &n.arena.timers[len(n.arena.timers)-1])
 }
 
 // cancelTimer invalidates any outstanding fire of kind.
@@ -254,6 +291,7 @@ func (n *Node) TimerGen(kind TimerKind) uint64 { return n.gens[kind] }
 
 // HandleTimer delivers a timer fire. Stale generations are ignored.
 func (n *Node) HandleTimer(kind TimerKind, gen uint64) []Effect {
+	n.begin()
 	if gen != n.gens[kind] {
 		return nil
 	}
@@ -282,11 +320,12 @@ var ErrBusy = errors.New("core: critical-section request already pending")
 // grant is signalled by a Grant effect (possibly within the returned
 // slice, if the node already holds the idle token).
 func (n *Node) RequestCS() ([]Effect, error) {
+	n.begin()
 	if n.wantCS {
 		return nil, ErrBusy
 	}
 	n.wantCS = true
-	n.queue = append(n.queue, queued{local: true})
+	n.q.push(queued{local: true})
 	n.drain()
 	return n.take(), nil
 }
@@ -298,6 +337,7 @@ var ErrNotInCS = errors.New("core: not in critical section")
 // ReleaseCS ends the critical section: the token is given back to the
 // lender, or kept if this node is the lender (the root).
 func (n *Node) ReleaseCS() ([]Effect, error) {
+	n.begin()
 	if !n.inCS {
 		return nil, ErrNotInCS
 	}
@@ -321,9 +361,8 @@ func (n *Node) ReleaseCS() ([]Effect, error) {
 // (the paper's wait(not asking) precondition; a search_father in progress
 // also holds the queue because the father pointer is unresolved).
 func (n *Node) drain() {
-	for !n.asking && !n.search.active && len(n.queue) > 0 {
-		item := n.queue[0]
-		n.queue = n.queue[1:]
+	for !n.asking && !n.search.active && n.q.n > 0 {
+		item := n.q.pop()
 		if item.local {
 			n.processEnterCS()
 		} else {
@@ -344,7 +383,7 @@ func (n *Node) processEnterCS() {
 		n.csSeq = n.seq
 		n.lender = n.cfg.Self
 		n.inCS = true
-		n.emit(Grant{Lender: n.cfg.Self})
+		n.emitGrant(n.cfg.Self)
 		return
 	}
 	n.seq += seqStride
@@ -362,21 +401,22 @@ func (n *Node) processRequest(m Message) {
 	if m.Target == n.cfg.Self {
 		// Cannot happen in correct runs (a request never revisits its own
 		// target); guard against pathological reconfigurations.
-		n.emit(Dropped{Msg: m, Reason: "request targets self"})
+		n.emitDropped(m, "request targets self")
 		return
 	}
-	if last, ok := n.seen[m.Source]; ok && m.Seq < last {
+	tr := n.track.lookup(m.Source)
+	if tr != nil && tr.hasSeen && m.Seq < tr.seenSeq {
 		// A newer re-issue of this request arrived while this copy sat in
 		// the queue; serving both would hand out the token twice.
-		n.emit(Dropped{Msg: m, Reason: "stale sequence at dequeue"})
+		n.emitDropped(m, "stale sequence at dequeue")
 		return
 	}
-	if g, ok := n.granted[m.Source]; ok && sameRequest(g, m.Seq) {
+	if tr != nil && tr.hasGrant && sameRequest(tr.grantSeq, m.Seq) {
 		// We already lent the token for this logical request and the loan
 		// completed; this copy is a failure-recovery duplicate whose
 		// service would send the token to a node that no longer asks.
 		// Tell the target so a zombie mandate stops re-issuing it.
-		n.emit(Dropped{Msg: m, Reason: "request already granted"})
+		n.emitDropped(m, "request already granted")
 		n.send(Message{Kind: KindObsolete, To: m.Target, Source: m.Source, Seq: m.Seq})
 		return
 	}
@@ -432,6 +472,7 @@ func (n *Node) processRequest(m Message) {
 
 // HandleMessage delivers one protocol message.
 func (n *Node) HandleMessage(m Message) []Effect {
+	n.begin()
 	switch m.Kind {
 	case KindRequest:
 		n.onRequest(m)
@@ -452,31 +493,38 @@ func (n *Node) HandleMessage(m Message) []Effect {
 	case KindObsolete:
 		n.onObsolete(m)
 	default:
-		n.emit(Dropped{Msg: m, Reason: "unknown kind"})
+		n.emitDropped(m, "unknown kind")
 	}
 	return n.take()
 }
 
 // onRequest queues or processes a request, discarding stale re-issues.
 func (n *Node) onRequest(m Message) {
-	if last, ok := n.seen[m.Source]; ok && m.Seq < last {
-		n.emit(Dropped{Msg: m, Reason: "stale sequence"})
+	if !m.Source.Valid(1<<n.cfg.P) || !m.Target.Valid(1<<n.cfg.P) {
+		// Malformed network input (live transports decode arbitrary
+		// bytes): the tracking table's key domain is the position range,
+		// with None as its empty-slot sentinel, so out-of-range sources
+		// must never reach it.
+		n.emitDropped(m, "source or target out of range")
 		return
 	}
-	if n.seen == nil {
-		n.seen = make(map[ocube.Pos]uint64, 8)
+	tr := n.track.ensure(m.Source)
+	if tr.hasSeen && m.Seq < tr.seenSeq {
+		n.emitDropped(m, "stale sequence")
+		return
 	}
-	n.seen[m.Source] = m.Seq
+	tr.hasSeen = true
+	tr.seenSeq = m.Seq
 	// A re-issue of a request already queued here supersedes the queued
 	// copy in place, so recovery storms cannot bloat the queue.
-	for i := range n.queue {
-		if q := &n.queue[i]; !q.local && q.msg.Source == m.Source {
-			q.msg = m
+	for i := n.q.head; i >= 0; i = n.q.arena[i].next {
+		if e := &n.q.arena[i]; !e.local && e.msg.Source == m.Source {
+			e.msg = m
 			n.drain()
 			return
 		}
 	}
-	n.queue = append(n.queue, queued{msg: m})
+	n.q.push(queued{msg: m})
 	n.drain()
 }
 
@@ -521,12 +569,12 @@ func (n *Node) onToken(m Message) {
 		// become the root (the sender has already pointed its father at
 		// us), keeping the token unique and the system live.
 		if m.Lender != ocube.None {
-			n.emit(Dropped{Msg: m, Reason: "unexpected lent token"})
+			n.emitDropped(m, "unexpected lent token")
 			return
 		}
 		n.tokenHere = true
 		n.father = ocube.None
-		n.emit(BecameRoot{Reason: "adopted stray unlent token"})
+		n.emitBecameRoot("adopted stray unlent token")
 		n.drain()
 		return
 	}
@@ -553,7 +601,7 @@ func (n *Node) onToken(m Message) {
 		if m.Lender == ocube.None {
 			n.lender = n.cfg.Self
 			n.father = ocube.None
-			n.emit(BecameRoot{Reason: "received unlent token"})
+			n.emitBecameRoot("received unlent token")
 		} else {
 			n.lender = m.Lender
 			n.father = m.From
@@ -562,7 +610,7 @@ func (n *Node) onToken(m Message) {
 		n.mandator = ocube.None
 		n.curSource = ocube.None
 		n.inCS = true
-		n.emit(Grant{Lender: n.lender})
+		n.emitGrant(n.lender)
 		// asking remains true until ReleaseCS.
 	default:
 		// Honor the mandator's request.
@@ -570,7 +618,7 @@ func (n *Node) onToken(m Message) {
 		if m.Lender == ocube.None {
 			// The token has no lender: become the root and lend it.
 			n.father = ocube.None
-			n.emit(BecameRoot{Reason: "received unlent token as proxy"})
+			n.emitBecameRoot("received unlent token as proxy")
 			n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
 				Source: n.curSource, Seq: n.curSeq})
 			n.tokenHere = false

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ocube"
+)
+
+// TestWaitQueueAgainstModel drives the free-listed intrusive queue with
+// a long randomized push/pop/supersede sequence and compares it after
+// every operation against a plain-slice reference model, validating the
+// pool invariants (free list partitions the arena, counters consistent)
+// and that recycled slots never alias live or previously popped items.
+func TestWaitQueueAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q waitQueue
+	q.reset()
+	var model []queued
+
+	snapshot := func() []queued {
+		var out []queued
+		for i := q.head; i >= 0; i = q.arena[i].next {
+			out = append(out, q.arena[i])
+		}
+		return out
+	}
+	verify := func(step int) {
+		t.Helper()
+		if err := q.check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got := snapshot()
+		if len(got) != len(model) || q.n != len(model) {
+			t.Fatalf("step %d: queue has %d items (counter %d), model %d", step, len(got), q.n, len(model))
+		}
+		for i := range got {
+			if got[i].local != model[i].local || got[i].msg.Source != model[i].msg.Source ||
+				got[i].msg.Seq != model[i].msg.Seq {
+				t.Fatalf("step %d: item %d = %+v, model %+v", step, i, got[i], model[i])
+			}
+		}
+	}
+
+	var popped []queued // every item ever handed out, with its expected content
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5: // push
+			it := queued{msg: Message{Source: ocube.Pos(rng.Intn(64)), Seq: uint64(step)}}
+			if rng.Intn(8) == 0 {
+				it = queued{local: true}
+			}
+			q.push(it)
+			model = append(model, it)
+		case op < 9: // pop
+			if q.n == 0 {
+				continue
+			}
+			got := q.pop()
+			want := model[0]
+			model = model[1:]
+			if got.local != want.local || got.msg.Source != want.msg.Source || got.msg.Seq != want.msg.Seq {
+				t.Fatalf("step %d: popped %+v, model %+v", step, got, want)
+			}
+			popped = append(popped, got)
+		default: // supersede in place, as onRequest does for re-issues
+			if q.n == 0 {
+				continue
+			}
+			src := ocube.Pos(rng.Intn(64))
+			re := Message{Source: src, Seq: 1_000_000 + uint64(step)} // seq range disjoint from pushes
+			for i := q.head; i >= 0; i = q.arena[i].next {
+				if e := &q.arena[i]; !e.local && e.msg.Source == src {
+					e.msg = re
+					break
+				}
+			}
+			for i := range model {
+				if !model[i].local && model[i].msg.Source == src {
+					model[i].msg = re
+					break
+				}
+			}
+		}
+		verify(step)
+	}
+
+	// Popped items are copies: no later push may have mutated them. Seq
+	// doubles as a uniqueness stamp, so any aliasing through a recycled
+	// slot would show as a content mismatch above or a duplicate here.
+	seen := map[uint64]int{}
+	for _, it := range popped {
+		if it.local {
+			continue
+		}
+		seen[it.msg.Seq]++
+		if seen[it.msg.Seq] > 1 {
+			t.Fatalf("request seq %d handed out twice: recycled slot aliased a live item", it.msg.Seq)
+		}
+	}
+
+	for q.n > 0 {
+		q.pop()
+	}
+	if err := q.check(); err != nil {
+		t.Fatalf("after draining: %v", err)
+	}
+	if len(q.arena) > 0 && q.free < 0 {
+		t.Fatal("drained queue leaked arena slots: free list empty with a non-empty arena")
+	}
+}
+
+// TestTrackTableAgainstModel drives the open-addressed tracking table
+// against a map reference model.
+func TestTrackTableAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var tab trackTable
+	model := map[ocube.Pos]reqTrack{}
+
+	for step := 0; step < 4000; step++ {
+		src := ocube.Pos(rng.Intn(300))
+		switch rng.Intn(4) {
+		case 0: // record a seen sequence
+			e := tab.ensure(src)
+			e.hasSeen, e.seenSeq = true, uint64(step)
+			m := model[src]
+			m.src, m.hasSeen, m.seenSeq = src, true, uint64(step)
+			model[src] = m
+		case 1: // record a grant
+			e := tab.ensure(src)
+			e.hasGrant, e.grantSeq = true, uint64(step)
+			m := model[src]
+			m.src, m.hasGrant, m.grantSeq = src, true, uint64(step)
+			model[src] = m
+		case 2: // clear a grant (transfer rollback)
+			if e := tab.lookup(src); e != nil {
+				e.hasGrant = false
+			}
+			if m, ok := model[src]; ok {
+				m.hasGrant = false
+				model[src] = m
+			}
+		default: // lookup
+			e := tab.lookup(src)
+			m, ok := model[src]
+			if (e != nil) != ok {
+				t.Fatalf("step %d: lookup(%v) present=%v, model %v", step, src, e != nil, ok)
+			}
+			if e != nil && *e != m {
+				t.Fatalf("step %d: lookup(%v) = %+v, model %+v", step, src, *e, m)
+			}
+		}
+		if err := tab.check(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	if tab.n != len(model) {
+		t.Fatalf("table has %d entries, model %d", tab.n, len(model))
+	}
+	tab.reset()
+	if err := tab.check(); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+	if tab.lookup(3) != nil || tab.n != 0 {
+		t.Fatal("reset table still answers lookups")
+	}
+}

@@ -214,7 +214,7 @@ func E4SearchCost(ps []int, trials int, seed int64) ([]E4Row, error) {
 				Delay: sim.FixedDelay(delta),
 				Node:  ftNodeConfig(),
 				OnEffect: func(node ocube.Pos, e core.Effect) {
-					if se, ok := e.(core.SearchEnded); ok && node == requester {
+					if se, ok := e.(*core.SearchEnded); ok && node == requester {
 						got = append(got, searchOutcome{father: se.Father, tested: se.Tested})
 					}
 				},

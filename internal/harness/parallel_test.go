@@ -41,6 +41,11 @@ func renderAll(t *testing.T) string {
 		t.Fatalf("E6: %v", err)
 	}
 	b.WriteString(FormatE6(e6))
+	e7, err := E7LargeP([]int{4, 5}, seed)
+	if err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	b.WriteString(FormatE7(e7))
 	return b.String()
 }
 
@@ -57,7 +62,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if seq != par {
 		t.Errorf("parallel sweep diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
-	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E6 —") {
+	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E7 —") {
 		t.Errorf("rendered tables look truncated:\n%s", seq)
 	}
 }

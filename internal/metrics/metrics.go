@@ -1,6 +1,8 @@
-// Package metrics provides the small statistics toolkit used by the
-// experiment harness: streaming mean/max accumulators and exact-quantile
-// samples for the modest sample sizes of the paper's experiments.
+// Package metrics provides the small statistics toolkit behind the
+// experiment harness (internal/harness, experiments E1–E7): streaming
+// mean/max accumulators and exact-quantile samples for the modest sample
+// sizes of the paper's evaluation — per-search tested-node counts (E4),
+// per-source message averages (E6) and the like.
 package metrics
 
 import (

@@ -27,7 +27,6 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"sort"
 	"strings"
 )
 
@@ -107,15 +106,34 @@ func PGroup(x Pos, p int) []Pos {
 // in increasing position order. There are 2^(d-1) of them for d ≥ 1
 // (Section 5: "only 2^(d-1) nodes are at distance d of a given node").
 func AtDist(x Pos, d int) []Pos {
+	return AppendAtDist(make([]Pos, 0, atDistLen(d)), x, d)
+}
+
+// atDistLen returns |AtDist(·, d)|.
+func atDistLen(d int) int {
 	if d == 0 {
-		return []Pos{x}
+		return 1
 	}
-	out := make([]Pos, 0, 1<<(d-1))
-	for y := Pos(1) << (d - 1); y < 1<<d; y++ {
-		out = append(out, x^y)
+	return 1 << (d - 1)
+}
+
+// AppendAtDist appends AtDist(x, d) to dst and returns the extended
+// slice; it allocates nothing when dst has capacity, which is what the
+// search_father machinery relies on for its pooled candidate sets.
+//
+// The set {x XOR y : 2^(d-1) ≤ y < 2^d} fixes x's bits at or above d,
+// flips bit d-1, and ranges over every combination of the bits below, so
+// it is the contiguous range of 2^(d-1) positions starting at the
+// (d-1)-group base of x XOR 2^(d-1) — no sorting is needed.
+func AppendAtDist(dst []Pos, x Pos, d int) []Pos {
+	if d == 0 {
+		return append(dst, x)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	base := GroupBase(x^(1<<(d-1)), d-1)
+	for i := Pos(0); i < 1<<(d-1); i++ {
+		dst = append(dst, base+i)
+	}
+	return dst
 }
 
 // Cube is an explicit father-pointer forest over the canonical labeling.

@@ -19,6 +19,14 @@
 // abandoning a dead entry until its fire time, which keeps fault-tolerant
 // runs — where suspicion timers are re-armed on nearly every message —
 // from dragging a heap full of corpses.
+//
+// Same-virtual-instant event runs are drained out of the heap as a
+// single batch and dispatched from a FIFO: events spawned with zero
+// delay while the run executes join the batch in O(1) instead of paying
+// a heap push and pop each, so zero-delay cascades (fixed-delay
+// experiments, the same-instant FIFO golden scenario) touch the heap
+// once per instant. Dispatch order stays bit-for-bit identical to
+// per-event popping (see Engine.Step).
 package sim
 
 import (
@@ -81,6 +89,16 @@ type Engine struct {
 	next uint64
 	ev   []heapEntry // 4-ary min-heap by (at, seq)
 
+	// batch is the FIFO of the current instant's remaining events: when
+	// the clock advances, the whole same-instant run is drained out of
+	// the heap at once, and events spawned with zero delay while the run
+	// executes append here in O(1) instead of a heap push + pop pair.
+	// Timer entries never enter the batch — they stay heap-resident so
+	// the slot table's at-most-one-entry-per-key invariant (and the
+	// slotGen read at dispatch) keeps its exact meaning.
+	batch     []heapEntry
+	batchHead int
+
 	// slots maps timer keys to their heap index (-1 when absent) and
 	// slotGen to the generation the key was last armed with; sized by
 	// bind to nodes × timer kinds. At most one entry per key exists.
@@ -109,8 +127,9 @@ func (e *Engine) bind(h handler, timerSlots int) {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Pending returns the number of scheduled events.
-func (e *Engine) Pending() int { return len(e.ev) }
+// Pending returns the number of scheduled events (heap plus the current
+// instant's batched run).
+func (e *Engine) Pending() int { return len(e.ev) + len(e.batch) - e.batchHead }
 
 // After schedules fn to run at Now()+d. A non-positive d runs fn at the
 // current instant, after already-scheduled same-instant events.
@@ -148,13 +167,22 @@ func (e *Engine) takeMsg(ref int32) core.Message {
 	return m
 }
 
-// schedule stamps a new entry and pushes it.
+// schedule stamps a new entry and pushes it. A zero-delay event joins
+// the current instant's batch directly — in FIFO position, since its seq
+// is the largest yet — unless the heap still holds a same-instant entry
+// (a timer rescheduled to now) that must dispatch first; then it takes
+// the heap path so the (at, seq) order is restored by the heap instead.
 func (e *Engine) schedule(d time.Duration, kind eventKind, ref int32) {
 	if d < 0 {
 		d = 0
 	}
 	e.next++
-	e.ev = append(e.ev, heapEntry{at: e.now + d, seq: e.next, kind: kind, ref: ref})
+	ent := heapEntry{at: e.now + d, seq: e.next, kind: kind, ref: ref}
+	if d == 0 && (len(e.ev) == 0 || e.ev[0].at != e.now) {
+		e.batch = append(e.batch, ent)
+		return
+	}
+	e.ev = append(e.ev, ent)
 	e.siftUp(len(e.ev) - 1)
 }
 
@@ -248,25 +276,56 @@ func (e *Engine) pop() heapEntry {
 }
 
 // Step runs the next event; it reports false when none remain.
+//
+// Batched delivery: when the clock reaches a new instant, the entire
+// same-instant run at the top of the heap is drained into the batch FIFO
+// in one pass, and subsequent Steps dispatch from the batch without
+// touching the heap. Because seq numbers are monotonic, events the run
+// spawns at the same instant append behind it in exactly the (at, seq)
+// order the heap would have produced — dispatch order is bit-for-bit
+// identical to per-event popping, as the golden-trace fixtures pin.
+// The drain pauses at timer entries (see Engine.batch) and resumes once
+// they dispatch.
 func (e *Engine) Step() bool {
+	if e.batchHead < len(e.batch) {
+		ent := e.batch[e.batchHead]
+		e.batchHead++
+		if e.batchHead == len(e.batch) {
+			e.batch = e.batch[:0]
+			e.batchHead = 0
+		}
+		e.dispatch(ent)
+		return true
+	}
 	if len(e.ev) == 0 {
 		return false
 	}
 	ent := e.pop()
 	e.now = ent.at
+	for len(e.ev) > 0 && e.ev[0].at == e.now && e.ev[0].kind != evTimer {
+		e.batch = append(e.batch, e.pop())
+	}
+	e.dispatch(ent)
+	return true
+}
+
+// dispatch executes one event.
+func (e *Engine) dispatch(ent heapEntry) {
 	if ent.kind == evFunc {
 		fn := e.fns[ent.ref]
 		e.fns[ent.ref] = nil
 		e.fnFree = append(e.fnFree, ent.ref)
 		fn()
-	} else {
-		e.h.handle(ent)
+		return
 	}
-	return true
+	e.h.handle(ent)
 }
 
 // peekAt returns the fire time of the earliest event.
 func (e *Engine) peekAt() (time.Duration, bool) {
+	if e.batchHead < len(e.batch) {
+		return e.batch[e.batchHead].at, true
+	}
 	if len(e.ev) == 0 {
 		return 0, false
 	}

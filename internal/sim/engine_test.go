@@ -290,3 +290,78 @@ func TestHeapStaysBoundedUnderFT(t *testing.T) {
 		t.Errorf("violations = %d", w.Violations())
 	}
 }
+
+// TestEngineSameInstantBatchOrdering: a zero-delay cascade joins the
+// current instant's batch and still runs in exact (time, schedule) order
+// after the already-scheduled same-instant events — the batched-delivery
+// equivalent of TestEngineOrdering.
+func TestEngineSameInstantBatchOrdering(t *testing.T) {
+	var e Engine
+	var got []string
+	e.After(time.Millisecond, func() {
+		got = append(got, "a")
+		e.After(0, func() { got = append(got, "a0") })
+	})
+	e.After(time.Millisecond, func() {
+		got = append(got, "b")
+		e.After(0, func() {
+			got = append(got, "b0")
+			e.After(0, func() { got = append(got, "b00") })
+		})
+	})
+	e.After(2*time.Millisecond, func() { got = append(got, "c") })
+	for e.Step() {
+	}
+	want := []string{"a", "b", "a0", "b0", "b00", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 2*time.Millisecond {
+		t.Errorf("now = %v, want 2ms", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after drain", e.Pending())
+	}
+}
+
+// orderHandler records typed dispatches into a shared log (batch tests).
+type orderHandler struct{ log *[]string }
+
+func (h *orderHandler) handle(ent heapEntry) {
+	if ent.kind == evTimer {
+		*h.log = append(*h.log, "timer")
+	}
+}
+
+// TestEngineBatchPausesAtTimers: a timer entry scheduled between two
+// same-instant callbacks dispatches in its seq position, and zero-delay
+// events spawned before it route through the heap so they cannot
+// overtake it.
+func TestEngineBatchPausesAtTimers(t *testing.T) {
+	var e Engine
+	var log []string
+	e.bind(&orderHandler{log: &log}, 2*core.NumTimerKinds)
+	e.After(time.Millisecond, func() {
+		log = append(log, "a")
+		// Spawned at the timer's instant: must run after it.
+		e.After(0, func() { log = append(log, "a0") })
+	})
+	e.scheduleTimer(timerKey(1, core.TimerSuspicion), 1, time.Millisecond)
+	e.After(time.Millisecond, func() { log = append(log, "b") })
+	for e.Step() {
+	}
+	want := []string{"a", "timer", "b", "a0"}
+	if len(log) != len(want) {
+		t.Fatalf("ran %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("order = %v, want %v", log, want)
+		}
+	}
+}

@@ -165,8 +165,8 @@ func TestPaperSection5Scenario(t *testing.T) {
 	searches := map[ocube.Pos][]core.SearchEnded{}
 	cfg := ftConfig(4)
 	cfg.OnEffect = func(node ocube.Pos, e core.Effect) {
-		if se, ok := e.(core.SearchEnded); ok {
-			searches[node] = append(searches[node], se)
+		if se, ok := e.(*core.SearchEnded); ok {
+			searches[node] = append(searches[node], *se)
 		}
 	}
 	rec := &trace.Recorder{}
@@ -312,7 +312,7 @@ func TestEarlyAdoptAblation(t *testing.T) {
 		cfg := ftConfig(4)
 		cfg.Node.DisableEarlyAdopt = disable
 		cfg.OnEffect = func(_ ocube.Pos, e core.Effect) {
-			if se, ok := e.(core.SearchEnded); ok {
+			if se, ok := e.(*core.SearchEnded); ok {
 				tested += se.Tested
 			}
 		}

@@ -302,33 +302,30 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 			w.cfg.OnEffect(x, e)
 		}
 		switch e := e.(type) {
-		case core.Send:
+		case *core.Send:
 			w.deliver(e.Msg)
-		case core.StartTimer:
+		case *core.StartTimer:
 			w.Eng.scheduleTimer(timerKey(x, e.Kind), e.Gen, e.Delay)
-		case core.Grant:
+		case *core.Grant:
 			w.enterCS(x)
-		case core.TokenRegenerated:
+		case *core.TokenRegenerated:
 			w.regenerations++
 			if w.logging {
 				w.logf("node %v regenerates token: %s", x, e.Reason)
 			}
-		case core.Dropped:
+		case *core.Dropped:
 			if w.logging {
 				w.logf("node %v drops %v: %s", x, e.Msg, e.Reason)
 			}
-			if e.Msg.Kind == core.KindToken {
-				// An intentionally sacrificed token is no longer live.
-			}
-		case core.BecameRoot:
+		case *core.BecameRoot:
 			if w.logging {
 				w.logf("node %v becomes root: %s", x, e.Reason)
 			}
-		case core.SearchStarted:
+		case *core.SearchStarted:
 			if w.logging {
 				w.logf("node %v starts search_father at phase %d", x, e.Phase)
 			}
-		case core.SearchEnded:
+		case *core.SearchEnded:
 			if w.logging {
 				w.logf("node %v ends search_father: father=%v tested=%d", x, e.Father, e.Tested)
 			}

@@ -114,7 +114,7 @@ func TestSnapshotReflectsFathers(t *testing.T) {
 func TestOnEffectObservesGrants(t *testing.T) {
 	var grants int
 	w, err := New(Config{P: 1, OnEffect: func(_ ocube.Pos, e core.Effect) {
-		if _, ok := e.(core.Grant); ok {
+		if _, ok := e.(*core.Grant); ok {
 			grants++
 		}
 	}})

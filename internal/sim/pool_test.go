@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+)
+
+// TestNodePoolInvariantsUnderFTStorm fuzzes the node-side pools the way
+// the allocation work sharpened them: heavily contended fault-tolerant
+// runs with randomized failures and recoveries, which exercise queue
+// recycling (FIFO service and in-place re-issue supersession), tracking
+// table growth, search candidate reuse across repeated search_father
+// rounds, and the Recover reset path. At quiescence every node's pools
+// must be structurally sound and hold no leaked work.
+func TestNodePoolInvariantsUnderFTStorm(t *testing.T) {
+	for _, seed := range []int64{1, 2026, 31337} {
+		rng := rand.New(rand.NewSource(seed))
+		w, err := New(Config{
+			P:     4,
+			Seed:  seed,
+			Delay: UniformDelay(time.Millisecond/2, 2*time.Millisecond),
+			Node: core.Config{FT: true, Delta: 2 * time.Millisecond,
+				CSEstimate: 2 * time.Millisecond, SuspicionSlack: 48 * time.Millisecond},
+			CSTime: func(rng *rand.Rand) time.Duration {
+				return time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := w.N()
+		// Saturating request load with a few fail/recover episodes of
+		// non-root victims riding on top.
+		for i := 0; i < 12*n; i++ {
+			w.RequestCS(ocube.Pos(rng.Intn(n)), time.Duration(rng.Int63n(int64(800*time.Millisecond))))
+		}
+		for i := 0; i < 4; i++ {
+			victim := ocube.Pos(1 + rng.Intn(n-1))
+			at := time.Duration(rng.Int63n(int64(500 * time.Millisecond)))
+			w.Fail(victim, at)
+			w.Recover(victim, at+time.Duration(100+rng.Int63n(200))*time.Millisecond)
+		}
+		if !w.RunUntilQuiescent(24 * time.Hour) {
+			t.Fatalf("seed %d: no quiescence", seed)
+		}
+		if w.Violations() != 0 {
+			t.Fatalf("seed %d: %d violations", seed, w.Violations())
+		}
+		for i := 0; i < n; i++ {
+			node := w.Node(ocube.Pos(i))
+			if err := node.CheckPools(); err != nil {
+				t.Errorf("seed %d: %v", seed, err)
+			}
+			if node.QueueLen() != 0 {
+				t.Errorf("seed %d: node %v leaked %d queued items at quiescence",
+					seed, ocube.Pos(i), node.QueueLen())
+			}
+		}
+	}
+}
+
+// TestPoolsSurviveRecoverMidLoad pins the Recover reset path directly:
+// pools that held live items when the crash hit must come back
+// structurally empty and immediately reusable.
+func TestPoolsSurviveRecoverMidLoad(t *testing.T) {
+	w, err := New(Config{
+		P:     3,
+		Seed:  9,
+		Delay: FixedDelay(time.Millisecond),
+		Node: core.Config{FT: true, Delta: time.Millisecond,
+			CSEstimate: time.Millisecond, SuspicionSlack: 24 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.N(); i++ {
+		w.RequestCS(ocube.Pos(i), time.Duration(i)*time.Millisecond)
+	}
+	// Crash the initial root mid-service and bring it back.
+	w.Fail(0, 3*time.Millisecond)
+	w.Recover(0, 200*time.Millisecond)
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("no quiescence")
+	}
+	if got, want := w.Grants(), int64(w.N()); got != want {
+		t.Fatalf("grants = %d, want %d", got, want)
+	}
+	for i := 0; i < w.N(); i++ {
+		if err := w.Node(ocube.Pos(i)).CheckPools(); err != nil {
+			t.Error(err)
+		}
+	}
+	if w.LiveTokens() != 1 {
+		t.Errorf("live tokens = %d, want 1", w.LiveTokens())
+	}
+}

@@ -65,9 +65,9 @@ func TestPaperSection32Scenario(t *testing.T) {
 		},
 		OnEffect: func(node ocube.Pos, e core.Effect) {
 			switch e := e.(type) {
-			case core.Send:
+			case *core.Send:
 				msgs = append(msgs, e.Msg)
-			case core.Grant:
+			case *core.Grant:
 				grants = append(grants, node)
 			}
 		},
@@ -246,7 +246,7 @@ func TestSchemeInstanceRaymond(t *testing.T) {
 		P:    3,
 		Node: core.Config{Policy: core.RaymondPolicy{}},
 		OnEffect: func(_ ocube.Pos, e core.Effect) {
-			if s, ok := e.(core.Send); ok && s.Msg.Kind == core.KindToken {
+			if s, ok := e.(*core.Send); ok && s.Msg.Kind == core.KindToken {
 				tokenHops = append(tokenHops, [2]ocube.Pos{s.Msg.From, s.Msg.To})
 			}
 		},

@@ -1,7 +1,9 @@
-// Package transport carries protocol messages between live nodes. Two
-// implementations are provided: an in-memory Mesh for single-process
-// clusters (examples, tests, benchmarks) and a TCP transport with
-// gob-encoded frames for multi-process deployment.
+// Package transport carries protocol messages between live nodes — the
+// communication system the paper assumes reliable with a bounded
+// transmission delay δ (Section 2). Two implementations are provided: an
+// in-memory Mesh for single-process clusters (examples, tests,
+// benchmarks) and a TCP transport with gob-encoded frames for
+// multi-process deployment (examples/tcpcluster).
 package transport
 
 import (

@@ -1,7 +1,9 @@
 // Package workload generates seeded request schedules for the experiment
 // harness: who asks for the critical section, and when. Schedules are
 // plain data so the same workload can drive the open-cube algorithm, the
-// scheme instances and the classic baselines identically.
+// scheme instances and the classic baselines identically — the fairness
+// requirement behind the comparison (E5) and adaptivity (E6) experiments,
+// where Section 6 of the paper varies request frequency per node.
 package workload
 
 import (
