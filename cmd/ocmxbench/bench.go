@@ -41,6 +41,20 @@ type benchFile struct {
 	Experiments map[string]benchResult `json:"experiments"`
 }
 
+// perGrant folds a throughput run into the suite shape: events plus a
+// msgs/grant metric. A run that quiesced without a single grant is a
+// failed gate, not a zero metric — silently recording 0 would let a
+// regression that starves the schedule pass unnoticed.
+func perGrant(msgs, grants int64, err error) (int64, float64, error) {
+	if err != nil {
+		return 0, 0, err
+	}
+	if grants == 0 {
+		return 0, 0, fmt.Errorf("throughput run served no grants")
+	}
+	return msgs, float64(msgs) / float64(grants), nil
+}
+
 // measure benchmarks fn — a deterministic unit of work returning its
 // delivered-message count and a protocol metric — and folds the timing
 // into a benchResult.
@@ -86,18 +100,10 @@ func benchJSON(label string, seed int64) error {
 		fn       func() (int64, float64, error)
 	}{
 		{"engine_throughput", "msgs/grant", func() (int64, float64, error) {
-			msgs, grants, err := harness.EngineThroughput(6, false, seed)
-			if err != nil || grants == 0 {
-				return 0, 0, err
-			}
-			return msgs, float64(msgs) / float64(grants), nil
+			return perGrant(harness.EngineThroughput(6, false, seed))
 		}},
 		{"engine_throughput_ft", "msgs/grant", func() (int64, float64, error) {
-			msgs, grants, err := harness.EngineThroughput(6, true, seed)
-			if err != nil || grants == 0 {
-				return 0, 0, err
-			}
-			return msgs, float64(msgs) / float64(grants), nil
+			return perGrant(harness.EngineThroughput(6, true, seed))
 		}},
 		{"e1_n32", "worst msgs/request", func() (int64, float64, error) {
 			rows, err := harness.E1WorstCase([]int{5}, 10, seed)
@@ -159,6 +165,29 @@ func benchJSON(label string, seed int64) error {
 				return 0, 0, err
 			}
 			return 0, rows[0].FTMsgsPerCS, nil
+		}},
+		// The baseline throughput gates are new in PR 3: the classic
+		// algorithms only became benchmarkable on the shared typed-event
+		// engine once internal/mutexsim was deleted.
+		{"baseline_raymond", "msgs/grant", func() (int64, float64, error) {
+			return perGrant(harness.BaselineThroughput("classic-raymond", 6, seed))
+		}},
+		{"baseline_naimi_trehel", "msgs/grant", func() (int64, float64, error) {
+			return perGrant(harness.BaselineThroughput("classic-naimi-trehel", 6, seed))
+		}},
+		// e8_n16: the fault-injection comparison's open-cube crash cell
+		// (grants recovered after the CS holder fail-stops), new in PR 3.
+		{"e8_n16", "grants after holder crash", func() (int64, float64, error) {
+			rows, err := harness.E8FaultComparison(4, seed)
+			if err != nil {
+				return 0, 0, err
+			}
+			for _, r := range rows {
+				if r.Algorithm == "open-cube" && r.Scenario == harness.ScenarioCrashInCS {
+					return 0, float64(r.Grants), nil
+				}
+			}
+			return 0, 0, fmt.Errorf("e8: no open-cube crash row")
 		}},
 	}
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7] [-seed N] [-full] [-parallel N] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8] [-seed N] [-full] [-parallel N] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps; for E7 it extends the large-P sweep to
@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -159,6 +159,19 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatE7(rows))
+		return nil
+	})
+
+	run("e8", func() error {
+		p := 4
+		if *full {
+			p = 5
+		}
+		rows, err := harness.E8FaultComparison(p, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE8(rows))
 		return nil
 	})
 }

@@ -227,6 +227,19 @@ func (n *Node) onTransferTimeout() {
 		return
 	}
 	n.xferPending = false
+	if n.inCS || n.tokenHere {
+		// The node meanwhile holds a token again. Under the paper's model
+		// this state is unreachable (a live recipient acknowledges within
+		// the watchdog window, and a dead one means the only token is
+		// gone), so reaching it proves a channel dropped the
+		// acknowledgment — not the token. Reclaiming the root here would
+		// clobber the father pointer and the in-progress critical
+		// section's lender bookkeeping, leaving the node rootless and
+		// tokenless after its release; keep the current state instead and
+		// leave a genuinely dead transfer to the suspicion machinery of
+		// the nodes queued behind it.
+		return
+	}
 	if n.xferSource != ocube.None {
 		if tr := n.track.lookup(n.xferSource); tr != nil && tr.hasGrant && tr.grantSeq == n.xferSeq {
 			// The transfer never reached its recipient, so the source was

@@ -195,6 +195,14 @@ func (n *Node) QueueLen() int { return n.q.n }
 // Searching reports whether a search_father procedure is in progress.
 func (n *Node) Searching() bool { return n.search.active }
 
+// Busy reports whether the node has protocol activity outstanding:
+// asking for (or executing) the critical section, serving a deferred
+// queue, or searching for a father. Drivers use it for quiescence
+// detection; pending timers alone do not make a node busy.
+func (n *Node) Busy() bool {
+	return n.asking || n.inCS || n.q.n > 0 || n.search.active
+}
+
 // Power returns the node's current power (Proposition 2.1), or the
 // in-search evaluation phase-1 while searching (Section 5).
 func (n *Node) Power() int {

@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/mutexsim"
 	"repro/internal/naimitrehel"
 	"repro/internal/raymond"
 	"repro/internal/sim"
@@ -49,7 +48,8 @@ type E5Row struct {
 
 // E5Comparison runs the same seeded schedule through the open-cube
 // algorithm, the two general-scheme instances and the two classic
-// baselines, and reports mean messages per critical section. Schedules
+// baselines — all on the unified typed-event engine with the identical
+// delay model — and reports mean messages per critical section. Schedules
 // are drawn up front per (order, load) — every algorithm replays the
 // identical read-only schedule — and the (order, load, algorithm) cells
 // run concurrently on the sweep pool, assembled in sequential order.
@@ -99,91 +99,66 @@ func scheduleFor(load string, n int, seed int64) []workload.Request {
 	}
 }
 
+// algorithmConfig resolves an E5/E8 algorithm name to its unified-engine
+// configuration: the scheme instances are open-cube nodes with a swapped
+// Policy, the classic baselines plug in through sim.Algorithm. Every
+// algorithm runs on the identical engine, delay model and seeds.
+func algorithmConfig(algo string, p int) (sim.Config, error) {
+	cfg := sim.Config{P: p}
+	switch algo {
+	case "open-cube":
+	case "scheme-raymond":
+		cfg.Node = core.Config{Policy: core.RaymondPolicy{}}
+	case "scheme-naimi-trehel":
+		cfg.Node = core.Config{Policy: core.NaimiTrehelPolicy{}}
+	case "classic-raymond":
+		cfg.Algorithm = raymond.Algorithm()
+	case "classic-naimi-trehel":
+		cfg.Algorithm = naimitrehel.Algorithm()
+	default:
+		return cfg, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return cfg, nil
+}
+
 func runE5(algo string, p int, load string, reqs []workload.Request, seed int64) (E5Row, error) {
 	n := 1 << p
 	row := E5Row{Algorithm: algo, N: n, Load: load}
 	rec := &trace.Recorder{}
-	switch algo {
-	case "open-cube", "scheme-raymond", "scheme-naimi-trehel":
-		var pol core.Policy
-		switch algo {
-		case "scheme-raymond":
-			pol = core.RaymondPolicy{}
-		case "scheme-naimi-trehel":
-			pol = core.NaimiTrehelPolicy{}
-		}
-		w, err := sim.New(sim.Config{
-			P:        p,
-			Seed:     seed,
-			Delay:    sim.UniformDelay(delta/2, delta),
-			Recorder: rec,
-			Node:     core.Config{Policy: pol},
-			CSTime:   csTime(delta),
-		})
-		if err != nil {
-			return row, err
-		}
-		if err := runSchedule(w, reqs); err != nil {
-			return row, err
-		}
-		row.Grants = w.Grants()
-		row.Violations = w.Violations()
-	case "classic-raymond":
-		nodes, err := raymond.NewSystem(p)
-		if err != nil {
-			return row, err
-		}
-		d, err := newBaselineDriver(raymond.Peers(nodes), seed, rec)
-		if err != nil {
-			return row, err
-		}
-		if err := runBaselineSchedule(d, reqs); err != nil {
-			return row, err
-		}
-		row.Grants = d.Grants()
-		row.Violations = d.Violations()
-	case "classic-naimi-trehel":
-		nodes, err := naimitrehel.NewSystem(n)
-		if err != nil {
-			return row, err
-		}
-		d, err := newBaselineDriver(naimitrehel.Peers(nodes), seed, rec)
-		if err != nil {
-			return row, err
-		}
-		if err := runBaselineSchedule(d, reqs); err != nil {
-			return row, err
-		}
-		row.Grants = d.Grants()
-		row.Violations = d.Violations()
-	default:
-		return row, fmt.Errorf("unknown algorithm %q", algo)
+	cfg, err := algorithmConfig(algo, p)
+	if err != nil {
+		return row, err
 	}
+	cfg.Seed = seed
+	cfg.Delay = sim.UniformDelay(delta/2, delta)
+	cfg.Recorder = rec
+	cfg.CSTime = csTime(delta)
+	w, err := sim.New(cfg)
+	if err != nil {
+		return row, err
+	}
+	if err := runSchedule(w, reqs); err != nil {
+		return row, err
+	}
+	row.Grants = w.Grants()
+	row.Violations = w.Violations()
 	if row.Grants > 0 {
 		row.MsgsPerCS = float64(rec.Total()) / float64(row.Grants)
 	}
 	return row, nil
 }
 
-func newBaselineDriver(peers []mutexsim.Peer, seed int64, rec *trace.Recorder) (*mutexsim.Driver, error) {
-	return mutexsim.New(mutexsim.Config{
-		Peers:    peers,
-		Seed:     seed,
-		MinDelay: delta / 2,
-		MaxDelay: delta,
-		Recorder: rec,
-		CSTime:   csTime(delta),
-	})
-}
-
-func runBaselineSchedule(d *mutexsim.Driver, reqs []workload.Request) error {
-	for _, r := range reqs {
-		d.RequestCS(r.Node, r.At)
+// BaselineThroughput drives the saturated throughput workload of
+// EngineThroughput (the shared throughputRun) through any E5 algorithm
+// on the unified engine — the baseline-throughput gates recorded in
+// BENCH_*.json, measurable only since the baselines run on the shared
+// typed-event core.
+func BaselineThroughput(algo string, p int, seed int64) (msgs, grants int64, err error) {
+	cfg, err := algorithmConfig(algo, p)
+	if err != nil {
+		return 0, 0, err
 	}
-	if !d.RunUntilQuiescent(24 * time.Hour) {
-		return fmt.Errorf("baseline schedule did not quiesce")
-	}
-	return nil
+	return throughputRun(cfg, algo, p, seed)
 }
 
 // FormatE5 renders the comparison grouped by workload and N.

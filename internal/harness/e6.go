@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/metrics"
-	"repro/internal/mutexsim"
 	"repro/internal/ocube"
 	"repro/internal/raymond"
 	"repro/internal/sim"
@@ -132,29 +131,25 @@ func e6OpenCube(p int, hot []int, reqs []workload.Request, seed int64) (E6Row, e
 func e6Raymond(p int, reqs []workload.Request, seed int64) (E6Row, error) {
 	n := 1 << p
 	row := E6Row{Algorithm: "classic-raymond", N: n}
-	nodes, err := raymond.NewSystem(p)
-	if err != nil {
-		return row, err
-	}
 	rec := &trace.Recorder{}
-	d, err := mutexsim.New(mutexsim.Config{
-		Peers:    raymond.Peers(nodes),
-		Seed:     seed,
-		MinDelay: delta / 2,
-		MaxDelay: delta,
-		Recorder: rec,
-		CSTime:   csTime(delta),
+	w, err := sim.New(sim.Config{
+		P:         p,
+		Seed:      seed,
+		Algorithm: raymond.Algorithm(),
+		Delay:     sim.UniformDelay(delta/2, delta),
+		Recorder:  rec,
+		CSTime:    csTime(delta),
 	})
 	if err != nil {
 		return row, err
 	}
-	if err := runBaselineSchedule(d, reqs); err != nil {
+	if err := runSchedule(w, reqs); err != nil {
 		return row, err
 	}
-	if d.Grants() == 0 {
+	if w.Grants() == 0 {
 		return row, fmt.Errorf("harness: e6 raymond had no grants")
 	}
-	row.MsgsPerCS = float64(rec.Total()) / float64(d.Grants())
+	row.MsgsPerCS = float64(rec.Total()) / float64(w.Grants())
 	return row, nil
 }
 

@@ -2,12 +2,53 @@ package harness
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
 
 	"repro/internal/ocube"
 	"repro/internal/workload"
 )
+
+// TestE5GoldenUnifiedEngine pins the engine-unification refactor: the E5
+// comparison table produced on the unified typed-event engine must be
+// value-identical to the table the deleted mutexsim driver produced
+// (testdata/e5_seed1993.golden, captured immediately before the
+// refactor) — same grants, same msgs/CS, per algorithm and seed. The
+// baselines consume random delay and CS-duration draws in the same order
+// on both engines, so this holds exactly, not just statistically.
+func TestE5GoldenUnifiedEngine(t *testing.T) {
+	want, err := os.ReadFile("testdata/e5_seed1993.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := E5Comparison([]int{3, 4, 5},
+		[]string{LoadSpread, LoadBurst, LoadHotspot}, 1993)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatE5(rows)
+	if strings.TrimRight(got, "\n") != strings.TrimRight(string(want), "\n") {
+		t.Errorf("E5 table diverged from the pre-refactor golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestE6GoldenUnifiedEngine pins the same property for the E6 adaptivity
+// table, whose classic-raymond rows also moved engines.
+func TestE6GoldenUnifiedEngine(t *testing.T) {
+	want, err := os.ReadFile("testdata/e6_seed1993.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := E6Adaptivity([]int{4, 5, 6}, 1993)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatE6(rows)
+	if strings.TrimRight(got, "\n") != strings.TrimRight(string(want), "\n") {
+		t.Errorf("E6 table diverged from the pre-refactor golden:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
 
 func TestE2MatchesAlphaRecurrenceExactly(t *testing.T) {
 	// The headline analytical reproduction: the measured per-node average
@@ -131,6 +172,51 @@ func TestE5AllAlgorithmsSafeAndLive(t *testing.T) {
 	}
 	if s := FormatE5(rows); !strings.Contains(s, "E5") {
 		t.Error("FormatE5 missing header")
+	}
+}
+
+func TestE8FaultComparisonShape(t *testing.T) {
+	// The experiment's reason to exist: under identical fault injection on
+	// the unified engine, the fault-tolerant open cube completes every
+	// scenario while the baselines stall after a crash.
+	rows, err := E8FaultComparison(4, 1993)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(E8Scenarios)*len(E8Algorithms) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(E8Scenarios)*len(E8Algorithms))
+	}
+	for _, r := range rows {
+		if r.Grants == 0 {
+			t.Errorf("%s/%s: no grants at all", r.Algorithm, r.Scenario)
+		}
+		if r.Algorithm == "open-cube" && !r.Completed {
+			t.Errorf("open-cube/%s: stalled", r.Scenario)
+		}
+		if r.Scenario == ScenarioCrashInCS {
+			switch r.Algorithm {
+			case "open-cube":
+				if r.Regens == 0 {
+					t.Error("open-cube/crash-in-cs: token never regenerated")
+				}
+				if r.Violations != 0 {
+					t.Errorf("open-cube/crash-in-cs: %d violations", r.Violations)
+				}
+			default:
+				// The baselines' token dies with the crashed holder: the
+				// run must not quiesce and most requests go unserved.
+				if r.Completed {
+					t.Errorf("%s/crash-in-cs: completed without fault tolerance", r.Algorithm)
+				}
+				if r.Grants >= int64(r.Requests)/2 {
+					t.Errorf("%s/crash-in-cs: %d of %d requests served after holder crash",
+						r.Algorithm, r.Grants, r.Requests)
+				}
+			}
+		}
+	}
+	if s := FormatE8(rows); !strings.Contains(s, "E8") || !strings.Contains(s, "STALLED") {
+		t.Error("FormatE8 missing header or stall marker")
 	}
 }
 

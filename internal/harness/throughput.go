@@ -19,18 +19,28 @@ import (
 // exactly the workload where dead scheduled timers used to pile up in
 // the event heap.
 func EngineThroughput(p int, ft bool, seed int64) (msgs, grants int64, err error) {
-	n := 1 << p
-	rec := &trace.Recorder{}
-	cfg := sim.Config{
-		P:        p,
-		Seed:     seed,
-		Delay:    sim.UniformDelay(delta/2, delta),
-		Recorder: rec,
-		CSTime:   csTime(delta),
-	}
+	cfg := sim.Config{P: p}
+	label := "open-cube"
 	if ft {
 		cfg.Node = ftNodeConfig()
+		label = "open-cube-ft"
 	}
+	return throughputRun(cfg, label, p, seed)
+}
+
+// throughputRun is the shared saturated-workload runner behind
+// EngineThroughput and BaselineThroughput: one schedule shape, one
+// delay/CS-time model and one quiescence check, so every BENCH_*.json
+// throughput gate measures the same logical work regardless of
+// algorithm.
+func throughputRun(cfg sim.Config, label string, p int, seed int64) (msgs, grants int64, err error) {
+	n := 1 << p
+	rec := &trace.Recorder{}
+	cfg.P = p
+	cfg.Seed = seed
+	cfg.Delay = sim.UniformDelay(delta/2, delta)
+	cfg.Recorder = rec
+	cfg.CSTime = csTime(delta)
 	w, err := sim.New(cfg)
 	if err != nil {
 		return 0, 0, err
@@ -42,10 +52,10 @@ func EngineThroughput(p int, ft bool, seed int64) (msgs, grants int64, err error
 		w.RequestCS(ocube.Pos(rng.Intn(n)), time.Duration(rng.Int63n(int64(horizon))))
 	}
 	if !w.RunUntilQuiescent(240 * time.Hour) {
-		return 0, 0, fmt.Errorf("harness: throughput run (p=%d ft=%v seed=%d) did not quiesce", p, ft, seed)
+		return 0, 0, fmt.Errorf("harness: %s throughput run (p=%d seed=%d) did not quiesce", label, p, seed)
 	}
 	if w.Violations() != 0 {
-		return 0, 0, fmt.Errorf("harness: throughput run had %d violations", w.Violations())
+		return 0, 0, fmt.Errorf("harness: %s throughput run had %d violations", label, w.Violations())
 	}
 	return rec.Total(), w.Grants(), nil
 }

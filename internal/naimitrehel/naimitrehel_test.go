@@ -6,22 +6,22 @@ import (
 	"testing/quick"
 	"time"
 
-	"repro/internal/mutexsim"
+	"repro/internal/ocube"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-func newDriver(t *testing.T, n int, seed int64, rec *trace.Recorder) (*mutexsim.Driver, []*Node) {
+// newNetwork drives this package's nodes on the unified typed-event
+// engine. Naimi-Trehel is not cube-structured, so the node count is
+// passed through Config.N rather than as a cube order.
+func newNetwork(t *testing.T, n int, seed int64, rec *trace.Recorder) (*sim.Network, []*Node) {
 	t.Helper()
-	nodes, err := NewSystem(n)
-	if err != nil {
-		t.Fatal(err)
-	}
-	d, err := mutexsim.New(mutexsim.Config{
-		Peers:    Peers(nodes),
-		Seed:     seed,
-		MinDelay: time.Millisecond,
-		MaxDelay: 3 * time.Millisecond,
-		Recorder: rec,
+	w, err := sim.New(sim.Config{
+		N:         n,
+		Seed:      seed,
+		Algorithm: Algorithm(),
+		Delay:     sim.UniformDelay(time.Millisecond, 3*time.Millisecond),
+		Recorder:  rec,
 		CSTime: func(rng *rand.Rand) time.Duration {
 			return time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
 		},
@@ -29,12 +29,20 @@ func newDriver(t *testing.T, n int, seed int64, rec *trace.Recorder) (*mutexsim.
 	if err != nil {
 		t.Fatal(err)
 	}
-	return d, nodes
+	nodes := make([]*Node, w.N())
+	for i := range nodes {
+		nodes[i] = w.Peer(ocube.Pos(i)).(*Node)
+	}
+	return w, nodes
 }
 
 func TestNewSystemValidation(t *testing.T) {
 	if _, err := NewSystem(0); err == nil {
 		t.Error("NewSystem(0) succeeded")
+	}
+	// Any positive node count runs, including non-powers of two.
+	if _, err := sim.New(sim.Config{N: 6, Algorithm: Algorithm()}); err != nil {
+		t.Errorf("sim.New over 6 naimi-trehel nodes: %v", err)
 	}
 }
 
@@ -57,13 +65,13 @@ func TestPathCompression(t *testing.T) {
 	// A request from x makes every node on the probable-owner path point
 	// directly at x, and hands x the token.
 	rec := &trace.Recorder{}
-	d, nodes := newDriver(t, 8, 1, rec)
-	d.RequestCS(5, 0)
-	if !d.RunUntilQuiescent(time.Minute) {
+	w, nodes := newNetwork(t, 8, 1, rec)
+	w.RequestCS(5, 0)
+	if !w.RunUntilQuiescent(time.Minute) {
 		t.Fatal("did not quiesce")
 	}
-	if d.Grants() != 1 {
-		t.Fatalf("grants = %d, want 1", d.Grants())
+	if w.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", w.Grants())
 	}
 	if !nodes[5].HasToken() {
 		t.Error("requester must own the token")
@@ -81,12 +89,11 @@ func TestDistributedQueueHandoff(t *testing.T) {
 	// Token jumps directly between consecutive requesters via next
 	// pointers: x requests, y requests while x is in CS, release hands
 	// the token straight to y.
-	d, nodes := newDriver(t, 8, 3, nil)
-	dSlow, err := mutexsim.New(mutexsim.Config{
-		Peers:    Peers(nodes),
-		Seed:     3,
-		MinDelay: time.Millisecond,
-		MaxDelay: time.Millisecond,
+	w, err := sim.New(sim.Config{
+		N:         8,
+		Seed:      3,
+		Algorithm: Algorithm(),
+		Delay:     sim.FixedDelay(time.Millisecond),
 		CSTime: func(*rand.Rand) time.Duration {
 			return 20 * time.Millisecond
 		},
@@ -94,19 +101,22 @@ func TestDistributedQueueHandoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = d
-	dSlow.RequestCS(3, 0)
-	dSlow.RequestCS(6, 2*time.Millisecond)
-	if !dSlow.RunUntilQuiescent(time.Minute) {
+	nodes := make([]*Node, w.N())
+	for i := range nodes {
+		nodes[i] = w.Peer(ocube.Pos(i)).(*Node)
+	}
+	w.RequestCS(3, 0)
+	w.RequestCS(6, 2*time.Millisecond)
+	if !w.RunUntilQuiescent(time.Minute) {
 		t.Fatal("did not quiesce")
 	}
-	if dSlow.Grants() != 2 || dSlow.Violations() != 0 {
-		t.Fatalf("grants=%d violations=%d", dSlow.Grants(), dSlow.Violations())
+	if w.Grants() != 2 || w.Violations() != 0 {
+		t.Fatalf("grants=%d violations=%d", w.Grants(), w.Violations())
 	}
 	if !nodes[6].HasToken() {
 		t.Error("the last requester must end with the token")
 	}
-	if nodes[3].Next() != -1 {
+	if nodes[3].Next() != ocube.None {
 		t.Error("next pointer must be cleared after handoff")
 	}
 }
@@ -119,37 +129,46 @@ func TestWorstCaseChainIsLinear(t *testing.T) {
 	// through a stale chain. Build it: nodes request in an order that
 	// leaves a chain, then measure the long walk.
 	rec := &trace.Recorder{}
-	d, _ := newDriver(t, 16, 5, rec)
+	w, _ := newNetwork(t, 16, 5, rec)
 	// Sequential requests: each next requester's pointer still points at
 	// node 0 initially, so request i walks 0's forwarding chain of length
 	// growing with the number of distinct past requesters it must hop.
 	for i := 1; i < 16; i++ {
-		d.RequestCS(i, 0)
-		if !d.RunUntilQuiescent(time.Hour) {
+		w.RequestCS(ocube.Pos(i), 0)
+		if !w.RunUntilQuiescent(time.Hour) {
 			t.Fatal("no quiescence")
 		}
 	}
 	// All fine as long as it completed; the E5 harness quantifies cost.
-	if d.Grants() != 15 || d.Violations() != 0 {
-		t.Fatalf("grants=%d violations=%d", d.Grants(), d.Violations())
+	if w.Grants() != 15 || w.Violations() != 0 {
+		t.Fatalf("grants=%d violations=%d", w.Grants(), w.Violations())
 	}
 }
 
+// TestPropertySafetyAndLiveness mirrors sim/invariant_test.go's central
+// property test for the baseline on the unified engine: over seeded
+// random schedules with non-FIFO delays and arbitrary (non-power-of-two)
+// system sizes, Naimi-Trehel must never overlap critical sections, must
+// serve requests, and must keep exactly one live token.
 func TestPropertySafetyAndLiveness(t *testing.T) {
 	f := func(seed int64, nRaw, reqRaw uint8) bool {
 		n := 2 + int(nRaw%30)
 		requests := 2 + int(reqRaw%30)
-		d, nodes := newDriver(t, n, seed, nil)
+		w, nodes := newNetwork(t, n, seed, nil)
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < requests; i++ {
-			d.RequestCS(rng.Intn(n), time.Duration(rng.Int63n(int64(50*time.Millisecond))))
+			w.RequestCS(ocube.Pos(rng.Intn(n)), time.Duration(rng.Int63n(int64(50*time.Millisecond))))
 		}
-		if !d.RunUntilQuiescent(time.Hour) {
+		if !w.RunUntilQuiescent(time.Hour) {
 			t.Logf("seed %d: no quiescence", seed)
 			return false
 		}
-		if d.Violations() != 0 || d.Grants() == 0 {
-			t.Logf("seed %d: grants=%d violations=%d", seed, d.Grants(), d.Violations())
+		if w.Violations() != 0 || w.Grants() == 0 {
+			t.Logf("seed %d: grants=%d violations=%d", seed, w.Grants(), w.Violations())
+			return false
+		}
+		if w.LiveTokens() != 1 {
+			t.Logf("seed %d: %d live tokens", seed, w.LiveTokens())
 			return false
 		}
 		tokens := 0

@@ -6,36 +6,38 @@
 //
 // Worst-case messages per request is O(d) where d is the tree diameter;
 // on the balanced binomial tree used here, O(log2 N).
+//
+// Nodes implement sim.Peer over the typed core.Message wire format
+// (KindRequest for Raymond's REQUEST, KindToken for the PRIVILEGE), so
+// the baseline runs on the same typed-event engine, delay models and
+// failure injection as the open-cube algorithm. Raymond's algorithm has
+// no failure machinery: a crashed node resumes with its pre-crash state
+// and every message lost while it was down stays lost — the E8
+// experiment quantifies what that costs.
 package raymond
 
 import (
 	"fmt"
+	"math/bits"
 
-	"repro/internal/mutexsim"
+	"repro/internal/core"
 	"repro/internal/ocube"
-)
-
-// Message kinds.
-const (
-	// MsgRequest asks the holder-side neighbour to route the privilege
-	// here eventually.
-	MsgRequest = "request"
-	// MsgPrivilege transfers the token to a neighbour.
-	MsgPrivilege = "privilege"
+	"repro/internal/sim"
 )
 
 // Node is one participant. Construct a full system with NewSystem.
 type Node struct {
-	self     int
-	holder   int // self, or the neighbour in the token's direction
+	self     ocube.Pos
+	holder   ocube.Pos // self, or the neighbour in the token's direction
 	using    bool
 	asked    bool
-	requestQ []int // pending requesters: neighbours or self
+	wanting  bool        // a local request is pending or executing
+	requestQ []ocube.Pos // pending requesters: neighbours or self
 
-	effects []mutexsim.Effect
+	em core.Emitter
 }
 
-var _ mutexsim.Peer = (*Node)(nil)
+var _ sim.TokenPeer = (*Node)(nil)
 
 // NewSystem builds 2^p nodes arranged on the pristine open-cube tree
 // (a binomial tree, diameter log2 N) with the privilege at position 0.
@@ -48,28 +50,42 @@ func NewSystem(p int) ([]*Node, error) {
 	n := 1 << p
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
-		holder := i
+		holder := ocube.Pos(i)
 		if i != 0 {
 			// Initially the privilege is at node 0: holder points along
 			// the tree towards 0, i.e. at the initial open-cube father.
-			holder = int(ocube.InitialFather(ocube.Pos(i)))
+			holder = ocube.InitialFather(ocube.Pos(i))
 		}
-		nodes[i] = &Node{self: i, holder: holder}
+		nodes[i] = &Node{self: ocube.Pos(i), holder: holder}
 	}
 	return nodes, nil
 }
 
-// Peers converts the system to the driver's peer slice.
-func Peers(nodes []*Node) []mutexsim.Peer {
-	peers := make([]mutexsim.Peer, len(nodes))
-	for i, n := range nodes {
-		peers[i] = n
+// Algorithm returns Raymond's algorithm for the unified simulator. The
+// node count must be a power of two (the binomial-tree layout).
+func Algorithm() sim.Algorithm {
+	return sim.Algorithm{
+		Name: "classic-raymond",
+		New: func(n int) ([]sim.Peer, error) {
+			p := bits.Len(uint(n)) - 1
+			if n < 1 || 1<<p != n {
+				return nil, fmt.Errorf("raymond: node count %d is not a power of two", n)
+			}
+			nodes, err := NewSystem(p)
+			if err != nil {
+				return nil, err
+			}
+			peers := make([]sim.Peer, n)
+			for i, node := range nodes {
+				peers[i] = node
+			}
+			return peers, nil
+		},
 	}
-	return peers
 }
 
 // Holder exposes the holder pointer for tests.
-func (n *Node) Holder() int { return n.holder }
+func (n *Node) Holder() ocube.Pos { return n.holder }
 
 // Using reports whether the node is inside its critical section.
 func (n *Node) Using() bool { return n.using }
@@ -77,13 +93,13 @@ func (n *Node) Using() bool { return n.using }
 // QueueLen returns the number of queued requests.
 func (n *Node) QueueLen() int { return len(n.requestQ) }
 
-func (n *Node) emit(e mutexsim.Effect) { n.effects = append(n.effects, e) }
+// TokenHere implements sim.TokenPeer: the privilege is here when the
+// holder pointer is self.
+func (n *Node) TokenHere() bool { return n.holder == n.self }
 
-func (n *Node) take() []mutexsim.Effect {
-	out := n.effects
-	n.effects = nil
-	return out
-}
+// Busy implements sim.Peer: activity is outstanding while a local
+// request is unserved or neighbour requests are queued.
+func (n *Node) Busy() bool { return n.wanting || n.using || len(n.requestQ) > 0 }
 
 // assignPrivilege passes the privilege to the queue head when possible
 // (Raymond's ASSIGN_PRIVILEGE).
@@ -96,11 +112,12 @@ func (n *Node) assignPrivilege() {
 	n.asked = false
 	if head == n.self {
 		n.using = true
-		n.emit(mutexsim.Grant{})
+		n.em.Grant(n.self)
 		return
 	}
 	n.holder = head
-	n.emit(mutexsim.Send{Msg: mutexsim.Message{Kind: MsgPrivilege, From: n.self, To: head}})
+	n.em.Send(core.Message{Kind: core.KindToken, From: n.self, To: head,
+		Source: head, Lender: ocube.None})
 }
 
 // makeRequest forwards a request towards the holder when one is needed
@@ -110,34 +127,49 @@ func (n *Node) makeRequest() {
 		return
 	}
 	n.asked = true
-	n.emit(mutexsim.Send{Msg: mutexsim.Message{Kind: MsgRequest, From: n.self, To: n.holder}})
+	n.em.Send(core.Message{Kind: core.KindRequest, From: n.self, To: n.holder,
+		Source: n.self, Target: n.self})
 }
 
-// Request implements mutexsim.Peer.
-func (n *Node) Request() []mutexsim.Effect {
+// RequestCS implements sim.Peer. Overlapping local requests are rejected
+// with core.ErrBusy, matching the open-cube node's driver contract.
+func (n *Node) RequestCS() ([]core.Effect, error) {
+	n.em.Begin()
+	if n.wanting {
+		return nil, core.ErrBusy
+	}
+	n.wanting = true
 	n.requestQ = append(n.requestQ, n.self)
 	n.assignPrivilege()
 	n.makeRequest()
-	return n.take()
+	return n.em.Take(), nil
 }
 
-// Release implements mutexsim.Peer.
-func (n *Node) Release() []mutexsim.Effect {
+// ReleaseCS implements sim.Peer.
+func (n *Node) ReleaseCS() ([]core.Effect, error) {
+	n.em.Begin()
+	if !n.using {
+		return nil, core.ErrNotInCS
+	}
 	n.using = false
+	n.wanting = false
 	n.assignPrivilege()
 	n.makeRequest()
-	return n.take()
+	return n.em.Take(), nil
 }
 
-// Deliver implements mutexsim.Peer.
-func (n *Node) Deliver(m mutexsim.Message) []mutexsim.Effect {
+// HandleMessage implements sim.Peer.
+func (n *Node) HandleMessage(m core.Message) []core.Effect {
+	n.em.Begin()
 	switch m.Kind {
-	case MsgRequest:
+	case core.KindRequest:
 		n.requestQ = append(n.requestQ, m.From)
-	case MsgPrivilege:
+	case core.KindToken:
 		n.holder = n.self
+	default:
+		n.em.Dropped(m, "kind not in Raymond's protocol")
 	}
 	n.assignPrivilege()
 	n.makeRequest()
-	return n.take()
+	return n.em.Take()
 }

@@ -6,22 +6,22 @@ import (
 	"testing/quick"
 	"time"
 
-	"repro/internal/mutexsim"
+	"repro/internal/ocube"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-func newDriver(t *testing.T, p int, seed int64, rec *trace.Recorder) (*mutexsim.Driver, []*Node) {
+// newNetwork drives this package's nodes on the unified typed-event
+// engine — the same runtime, delay model shape and quiescence tracking
+// the open-cube algorithm uses.
+func newNetwork(t *testing.T, p int, seed int64, rec *trace.Recorder) (*sim.Network, []*Node) {
 	t.Helper()
-	nodes, err := NewSystem(p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	d, err := mutexsim.New(mutexsim.Config{
-		Peers:    Peers(nodes),
-		Seed:     seed,
-		MinDelay: time.Millisecond,
-		MaxDelay: 3 * time.Millisecond,
-		Recorder: rec,
+	w, err := sim.New(sim.Config{
+		P:         p,
+		Seed:      seed,
+		Algorithm: Algorithm(),
+		Delay:     sim.UniformDelay(time.Millisecond, 3*time.Millisecond),
+		Recorder:  rec,
 		CSTime: func(rng *rand.Rand) time.Duration {
 			return time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
 		},
@@ -29,7 +29,11 @@ func newDriver(t *testing.T, p int, seed int64, rec *trace.Recorder) (*mutexsim.
 	if err != nil {
 		t.Fatal(err)
 	}
-	return d, nodes
+	nodes := make([]*Node, w.N())
+	for i := range nodes {
+		nodes[i] = w.Peer(ocube.Pos(i)).(*Node)
+	}
+	return w, nodes
 }
 
 func TestNewSystemValidation(t *testing.T) {
@@ -38,6 +42,13 @@ func TestNewSystemValidation(t *testing.T) {
 	}
 	if _, err := NewSystem(21); err == nil {
 		t.Error("NewSystem(21) succeeded")
+	}
+	// The Algorithm adapter rejects non-power-of-two node counts.
+	if _, err := Algorithm().New(6); err == nil {
+		t.Error("Algorithm().New(6) succeeded")
+	}
+	if _, err := sim.New(sim.Config{P: 2, Algorithm: Algorithm()}); err != nil {
+		t.Errorf("sim.New over raymond: %v", err)
 	}
 }
 
@@ -50,7 +61,7 @@ func TestInitialHolders(t *testing.T) {
 		t.Errorf("holder(0) = %d, want self", nodes[0].Holder())
 	}
 	// Node 7's holder chain must lead to 0: 7 -> 6 -> 4 -> 0.
-	for x, want := range map[int]int{7: 6, 6: 4, 4: 0, 3: 2, 5: 4} {
+	for x, want := range map[ocube.Pos]ocube.Pos{7: 6, 6: 4, 4: 0, 3: 2, 5: 4} {
 		if got := nodes[x].Holder(); got != want {
 			t.Errorf("holder(%d) = %d, want %d", x, got, want)
 		}
@@ -59,19 +70,19 @@ func TestInitialHolders(t *testing.T) {
 
 func TestSingleRequestTravelsHopByHop(t *testing.T) {
 	rec := &trace.Recorder{}
-	d, nodes := newDriver(t, 3, 1, rec)
-	d.RequestCS(7, 0)
-	if !d.RunUntilQuiescent(time.Minute) {
+	w, nodes := newNetwork(t, 3, 1, rec)
+	w.RequestCS(7, 0)
+	if !w.RunUntilQuiescent(time.Minute) {
 		t.Fatal("did not quiesce")
 	}
-	if d.Grants() != 1 {
-		t.Fatalf("grants = %d, want 1", d.Grants())
+	if w.Grants() != 1 {
+		t.Fatalf("grants = %d, want 1", w.Grants())
 	}
 	// Path 7-6-4-0: 3 requests up, 3 privileges down.
-	if got := rec.Kind(MsgRequest); got != 3 {
+	if got := rec.Kind("request"); got != 3 {
 		t.Errorf("requests = %d, want 3", got)
 	}
-	if got := rec.Kind(MsgPrivilege); got != 3 {
+	if got := rec.Kind("token"); got != 3 {
 		t.Errorf("privileges = %d, want 3", got)
 	}
 	// The holder chain now points towards 7 from everywhere on the path.
@@ -85,28 +96,21 @@ func TestSingleRequestTravelsHopByHop(t *testing.T) {
 
 func TestHolderAlwaysSelfOrNeighbor(t *testing.T) {
 	// Raymond invariant: holder pointers stay on static tree edges.
-	nodes, err := NewSystem(4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	neighbors := make([]map[int]bool, len(nodes))
+	w, nodes := newNetwork(t, 4, 7, nil)
+	neighbors := make([]map[ocube.Pos]bool, len(nodes))
 	for i := range nodes {
-		neighbors[i] = map[int]bool{i: true}
+		neighbors[i] = map[ocube.Pos]bool{ocube.Pos(i): true}
 	}
 	for i := 1; i < len(nodes); i++ {
 		f := nodes[i].Holder() // initial holder = tree father
 		neighbors[i][f] = true
-		neighbors[f][i] = true
-	}
-	d, err := mutexsim.New(mutexsim.Config{Peers: Peers(nodes), Seed: 7})
-	if err != nil {
-		t.Fatal(err)
+		neighbors[f][ocube.Pos(i)] = true
 	}
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 40; i++ {
-		d.RequestCS(rng.Intn(len(nodes)), time.Duration(rng.Int63n(int64(30*time.Millisecond))))
+		w.RequestCS(ocube.Pos(rng.Intn(len(nodes))), time.Duration(rng.Int63n(int64(30*time.Millisecond))))
 	}
-	if !d.RunUntilQuiescent(time.Hour) {
+	if !w.RunUntilQuiescent(time.Hour) {
 		t.Fatal("did not quiesce")
 	}
 	for i, n := range nodes {
@@ -116,30 +120,40 @@ func TestHolderAlwaysSelfOrNeighbor(t *testing.T) {
 	}
 }
 
+// TestPropertySafetyAndLiveness mirrors sim/invariant_test.go's central
+// property test for the baseline on the unified engine: over seeded
+// random schedules with non-FIFO delays, Raymond must never overlap
+// critical sections, must serve requests (eventual grant — quiescence
+// with at least one grant and no stuck requester), and must keep exactly
+// one live token.
 func TestPropertySafetyAndLiveness(t *testing.T) {
 	f := func(seed int64, pRaw, reqRaw uint8) bool {
 		p := 1 + int(pRaw%4)
 		requests := 2 + int(reqRaw%30)
-		d, nodes := newDriver(t, p, seed, nil)
+		w, nodes := newNetwork(t, p, seed, nil)
 		rng := rand.New(rand.NewSource(seed))
 		for i := 0; i < requests; i++ {
-			d.RequestCS(rng.Intn(len(nodes)), time.Duration(rng.Int63n(int64(50*time.Millisecond))))
+			w.RequestCS(ocube.Pos(rng.Intn(len(nodes))), time.Duration(rng.Int63n(int64(50*time.Millisecond))))
 		}
-		if !d.RunUntilQuiescent(time.Hour) {
+		if !w.RunUntilQuiescent(time.Hour) {
 			t.Logf("seed %d: no quiescence", seed)
 			return false
 		}
-		if d.Violations() != 0 {
-			t.Logf("seed %d: %d violations", seed, d.Violations())
+		if w.Violations() != 0 {
+			t.Logf("seed %d: %d violations", seed, w.Violations())
 			return false
 		}
-		if d.Grants() == 0 {
+		if w.Grants() == 0 {
+			return false
+		}
+		if w.LiveTokens() != 1 {
+			t.Logf("seed %d: %d live tokens", seed, w.LiveTokens())
 			return false
 		}
 		// Exactly one node believes it is the holder.
 		holders := 0
 		for i, n := range nodes {
-			if n.Holder() == i {
+			if n.Holder() == ocube.Pos(i) {
 				holders++
 			}
 		}
@@ -160,13 +174,13 @@ func TestWorstCaseBoundedByDiameter(t *testing.T) {
 	// a single request path is at most the depth p in the initial tree.
 	for p := 1; p <= 6; p++ {
 		rec := &trace.Recorder{}
-		d, nodes := newDriver(t, p, 42, rec)
+		w, nodes := newNetwork(t, p, 42, rec)
 		rng := rand.New(rand.NewSource(9))
 		var before int64
 		for i := 0; i < 15; i++ {
 			before = rec.Total()
-			d.RequestCS(rng.Intn(len(nodes)), 0)
-			if !d.RunUntilQuiescent(time.Hour) {
+			w.RequestCS(ocube.Pos(rng.Intn(len(nodes))), 0)
+			if !w.RunUntilQuiescent(time.Hour) {
 				t.Fatal("no quiescence")
 			}
 			cost := rec.Total() - before

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ocube"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 const d = time.Millisecond // the test networks' δ
@@ -420,5 +421,49 @@ func TestMultipleFailures(t *testing.T) {
 	}
 	if w.Regenerations() != 1 { // the token died with root 1
 		t.Errorf("regenerations = %d, want 1", w.Regenerations())
+	}
+}
+
+// TestLossyTransferAckRegression pins a bug the loss models surfaced:
+// with seed 7 below, a node returns a loaned token, the acknowledgment
+// (not the token) is lost in transit, the node re-enters its critical
+// section on a fresh loan, and the transfer-ack watchdog then fired
+// onTransferTimeout's root-reclaim — clobbering the father pointer and
+// lender bookkeeping so the node ended rootless and tokenless, and
+// addressed its next request to its nil father (an engine panic).
+// onTransferTimeout now keeps the current state when the node already
+// holds a token; the run must complete. The guarded state is unreachable
+// under the paper's reliable-channel model, so in-model golden traces
+// are unaffected.
+func TestLossyTransferAckRegression(t *testing.T) {
+	delta := time.Millisecond
+	cfg := Config{
+		P:     4,
+		Seed:  7,
+		Delay: LossyDelay(0.01, UniformDelay(delta/2, delta)),
+		Node: core.Config{
+			FT:             true,
+			Delta:          delta,
+			CSEstimate:     delta,
+			SuspicionSlack: 24 * delta,
+		},
+		CSTime: func(rng *rand.Rand) time.Duration {
+			return time.Duration(rng.Int63n(int64(delta)))
+		},
+	}
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schedule of harness E8 (workload.Uniform, seed 7): 96 requests
+	// over 128ms.
+	for _, r := range workload.Uniform(rand.New(rand.NewSource(7)), 16, 96, 128*delta) {
+		w.RequestCS(ocube.Pos(r.Node), r.At)
+	}
+	if !w.RunUntilQuiescent(24 * time.Hour) {
+		t.Fatal("lossy run did not quiesce")
+	}
+	if w.Grants() == 0 {
+		t.Fatal("no grants")
 	}
 }

@@ -294,18 +294,38 @@ func TestQuiescenceDetection(t *testing.T) {
 func TestDelayModels(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	fd := FixedDelay(3 * time.Millisecond)
-	if got := fd(rng, 0, 1); got != 3*time.Millisecond {
+	if got := fd(rng, 0, 0, 1); got != 3*time.Millisecond {
 		t.Errorf("FixedDelay = %v", got)
 	}
 	ud := UniformDelay(time.Millisecond, 2*time.Millisecond)
 	for i := 0; i < 100; i++ {
-		got := ud(rng, 0, 1)
+		got := ud(rng, 0, 0, 1)
 		if got < time.Millisecond || got > 2*time.Millisecond {
 			t.Fatalf("UniformDelay out of range: %v", got)
 		}
 	}
-	if got := UniformDelay(5*time.Millisecond, time.Millisecond)(rng, 0, 1); got != 5*time.Millisecond {
+	if got := UniformDelay(5*time.Millisecond, time.Millisecond)(rng, 0, 0, 1); got != 5*time.Millisecond {
 		t.Errorf("degenerate UniformDelay = %v, want min", got)
+	}
+	// LossyDelay: p=1 always loses and draws no inner delay; p=0 never
+	// loses and passes through.
+	if got := LossyDelay(1, fd)(rng, 0, 0, 1); got != Lost {
+		t.Errorf("LossyDelay(1) = %v, want Lost", got)
+	}
+	if got := LossyDelay(0, fd)(rng, 0, 0, 1); got != 3*time.Millisecond {
+		t.Errorf("LossyDelay(0) = %v, want inner delay", got)
+	}
+	// PartitionWindow: cross-cut messages are lost only inside the window.
+	side := func(x ocube.Pos) bool { return x >= 2 }
+	pw := PartitionWindow(10*time.Millisecond, 20*time.Millisecond, side, fd)
+	if got := pw(rng, 15*time.Millisecond, 0, 3); got != Lost {
+		t.Errorf("PartitionWindow cross-cut in window = %v, want Lost", got)
+	}
+	if got := pw(rng, 15*time.Millisecond, 2, 3); got != 3*time.Millisecond {
+		t.Errorf("PartitionWindow same-side in window = %v", got)
+	}
+	if got := pw(rng, 25*time.Millisecond, 0, 3); got != 3*time.Millisecond {
+		t.Errorf("PartitionWindow cross-cut after window = %v", got)
 	}
 }
 

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -10,21 +11,29 @@ import (
 	"repro/internal/trace"
 )
 
-// DelayFn draws the transmission delay for one message. Implementations
-// must never exceed the δ configured on the nodes when fault tolerance is
-// enabled, or the failure machinery's timeouts become unsound.
-type DelayFn func(rng *rand.Rand, from, to ocube.Pos) time.Duration
+// DelayFn draws the transmission delay for one message sent at virtual
+// time now, or returns Lost to drop it in transit. Implementations must
+// never exceed the δ configured on the nodes when fault tolerance is
+// enabled, or the failure machinery's timeouts become unsound. (Losing
+// messages breaks the paper's reliable-channel assumption outright; the
+// lossy models exist to measure exactly what that costs each algorithm —
+// see the E8 experiment.)
+type DelayFn func(rng *rand.Rand, now time.Duration, from, to ocube.Pos) time.Duration
+
+// Lost is the DelayFn sentinel for a message lost in transit: it is
+// recorded as sent but never delivered.
+const Lost time.Duration = math.MinInt64
 
 // FixedDelay returns a constant-delay model (FIFO per channel and
 // globally deterministic ordering).
 func FixedDelay(d time.Duration) DelayFn {
-	return func(*rand.Rand, ocube.Pos, ocube.Pos) time.Duration { return d }
+	return func(*rand.Rand, time.Duration, ocube.Pos, ocube.Pos) time.Duration { return d }
 }
 
 // UniformDelay draws uniformly from [min, max]; with min < max, channels
 // are not FIFO, matching the paper's weakest channel assumption.
 func UniformDelay(min, max time.Duration) DelayFn {
-	return func(rng *rand.Rand, _, _ ocube.Pos) time.Duration {
+	return func(rng *rand.Rand, _ time.Duration, _, _ ocube.Pos) time.Duration {
 		if max <= min {
 			return min
 		}
@@ -32,13 +41,47 @@ func UniformDelay(min, max time.Duration) DelayFn {
 	}
 }
 
-// Config describes a simulated network of 2^P nodes.
+// LossyDelay drops each message independently with probability p and
+// otherwise delegates to inner. The loss draw (one Float64) is made
+// before the inner delay draw, and no delay is drawn for a lost message —
+// the documented RNG consumption order that keeps lossy runs replayable.
+func LossyDelay(p float64, inner DelayFn) DelayFn {
+	return func(rng *rand.Rand, now time.Duration, from, to ocube.Pos) time.Duration {
+		if rng.Float64() < p {
+			return Lost
+		}
+		return inner(rng, now, from, to)
+	}
+}
+
+// PartitionWindow models a transient network partition: messages sent
+// during [start, end) between nodes on different sides of the cut are
+// lost; everything else delegates to inner. The side function partitions
+// the positions (e.g. by high bit for a half-cube split).
+func PartitionWindow(start, end time.Duration, side func(ocube.Pos) bool, inner DelayFn) DelayFn {
+	return func(rng *rand.Rand, now time.Duration, from, to ocube.Pos) time.Duration {
+		if now >= start && now < end && side(from) != side(to) {
+			return Lost
+		}
+		return inner(rng, now, from, to)
+	}
+}
+
+// Config describes a simulated network.
 type Config struct {
-	// P is the cube order; the network has 2^P nodes.
+	// P is the cube order; the network has 2^P nodes unless N overrides.
 	P int
-	// Node is the per-node configuration template; Self is filled in per
-	// node. Leave Policy nil for the open-cube algorithm.
+	// N optionally sets an explicit node count for algorithms that are
+	// not cube-structured (the Naimi-Trehel baseline runs at any size).
+	// Zero means 2^P. The open-cube algorithm requires N == 2^P.
+	N int
+	// Node is the per-node configuration template for the open-cube
+	// algorithm; Self is filled in per node. Leave Policy nil for the
+	// open-cube policy. Ignored when Algorithm is set.
 	Node core.Config
+	// Algorithm selects the algorithm under simulation. The zero value
+	// runs the open-cube algorithm built from Node.
+	Algorithm Algorithm
 	// Delay models message transmission; nil means FixedDelay(1ms).
 	Delay DelayFn
 	// Seed seeds the run's random generator.
@@ -54,22 +97,30 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
-// Network binds 2^P core.Node state machines to an Engine.
+// Network binds an algorithm's peers to an Engine. It is the single
+// runtime behind every experiment: the open-cube algorithm, the general
+// scheme instances and the classic baselines all run on the same event
+// heap, delay models, failure injection and quiescence tracking.
 type Network struct {
 	Eng *Engine
 
-	cfg     Config
-	n       int
-	nodes   []*core.Node
-	down    []bool
-	rng     *rand.Rand
-	logging bool
+	cfg      Config
+	n        int
+	peers    []Peer
+	nodes    []*core.Node // peers[i] when it is an open-cube node, else nil
+	timers   []TimerPeer  // peers[i] when it arms timers, else nil
+	tokens   []TokenPeer  // peers[i] when it reports token possession, else nil
+	recovers []RecoveringPeer
+	down     []bool
+	csAt     []bool // driver-side critical-section occupancy per node
+	rng      *rand.Rand
+	logging  bool
 
 	onGrant func(ocube.Pos)
 
-	// busy caches, per node, the protocol-activity predicate scanned by
-	// Busy(); it is refreshed after every event that touches a node, so
-	// quiescence detection is O(1) per event instead of O(N).
+	// busy caches, per node, the peer's Busy predicate; it is refreshed
+	// after every event that touches a node, so quiescence detection is
+	// O(1) per event instead of O(N).
 	busy  []bool
 	busyN int
 
@@ -80,10 +131,12 @@ type Network struct {
 	violations     int64 // simultaneous critical sections observed
 	regenerations  int64
 	lostToFailed   int64 // messages dropped at failed destinations
+	lostInTransit  int64 // messages dropped by the delay model (Lost)
 	inCS           int
 }
 
-// New builds the network with every node in the pristine open-cube state.
+// New builds the network with every peer in its algorithm's pristine
+// initial state (token at position 0).
 func New(cfg Config) (*Network, error) {
 	if cfg.P < 0 || cfg.P > 20 {
 		return nil, fmt.Errorf("sim: P=%d out of range", cfg.P)
@@ -91,36 +144,58 @@ func New(cfg Config) (*Network, error) {
 	if cfg.Delay == nil {
 		cfg.Delay = FixedDelay(time.Millisecond)
 	}
-	n := 1 << cfg.P
+	n := cfg.N
+	if n == 0 {
+		n = 1 << cfg.P
+	}
+	if n < 1 || n > 1<<20 {
+		return nil, fmt.Errorf("sim: N=%d out of range", n)
+	}
+	algo := cfg.Algorithm
+	if algo.New == nil {
+		algo = openCube(cfg.P, cfg.Node)
+	}
+	peers, err := algo.New(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(peers) != n {
+		return nil, fmt.Errorf("sim: algorithm %s built %d peers, want %d", algo.Name, len(peers), n)
+	}
 	w := &Network{
-		Eng:     &Engine{},
-		cfg:     cfg,
-		n:       n,
-		nodes:   make([]*core.Node, n),
-		down:    make([]bool, n),
-		busy:    make([]bool, n),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		logging: cfg.Logf != nil,
+		Eng:      &Engine{},
+		cfg:      cfg,
+		n:        n,
+		peers:    peers,
+		nodes:    make([]*core.Node, n),
+		timers:   make([]TimerPeer, n),
+		tokens:   make([]TokenPeer, n),
+		recovers: make([]RecoveringPeer, n),
+		down:     make([]bool, n),
+		csAt:     make([]bool, n),
+		busy:     make([]bool, n),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		logging:  cfg.Logf != nil,
+	}
+	for i, p := range peers {
+		w.nodes[i], _ = p.(*core.Node)
+		w.timers[i], _ = p.(TimerPeer)
+		w.tokens[i], _ = p.(TokenPeer)
+		w.recovers[i], _ = p.(RecoveringPeer)
 	}
 	w.Eng.bind(w, n*core.NumTimerKinds)
-	for i := 0; i < n; i++ {
-		nc := cfg.Node
-		nc.Self = ocube.Pos(i)
-		nc.P = cfg.P
-		node, err := core.NewNode(nc)
-		if err != nil {
-			return nil, fmt.Errorf("sim: node %d: %w", i, err)
-		}
-		w.nodes[i] = node
-	}
 	return w, nil
 }
 
 // N returns the node count.
 func (w *Network) N() int { return w.n }
 
-// Node exposes a node's state machine for inspection.
+// Node exposes an open-cube node's state machine for inspection; it
+// returns nil when the network runs a different algorithm.
 func (w *Network) Node(x ocube.Pos) *core.Node { return w.nodes[x] }
+
+// Peer exposes a peer for algorithm-specific inspection.
+func (w *Network) Peer(x ocube.Pos) Peer { return w.peers[x] }
 
 // Down reports whether x is currently failed.
 func (w *Network) Down(x ocube.Pos) bool { return w.down[x] }
@@ -135,11 +210,19 @@ func (w *Network) Violations() int64 { return w.violations }
 // Regenerations returns the number of token regenerations.
 func (w *Network) Regenerations() int64 { return w.regenerations }
 
+// LostInTransit returns the number of messages the delay model dropped.
+func (w *Network) LostInTransit() int64 { return w.lostInTransit }
+
+// LostToFailed returns the number of messages dropped because their
+// destination was down at delivery time.
+func (w *Network) LostToFailed() int64 { return w.lostToFailed }
+
 // LiveTokens counts tokens held by up nodes plus tokens in flight.
+// Peers that do not report token possession count as holding none.
 func (w *Network) LiveTokens() int {
 	held := 0
-	for i, node := range w.nodes {
-		if !w.down[i] && node.TokenHere() {
+	for i, tp := range w.tokens {
+		if tp != nil && !w.down[i] && tp.TokenHere() {
 			held++
 		}
 	}
@@ -167,7 +250,10 @@ func (w *Network) Fail(x ocube.Pos, d time.Duration) {
 	w.Eng.schedule(d, evFail, int32(x))
 }
 
-// Recover restarts node x after delay d; it rejoins via search_father.
+// Recover restarts node x after delay d. A peer with a recovery protocol
+// (the open-cube node) rejoins via search_father; the classic baselines
+// simply resume with their pre-crash state — and whatever was in flight
+// towards them while down is gone for good.
 func (w *Network) Recover(x ocube.Pos, d time.Duration) {
 	w.pendingOps++
 	w.Eng.schedule(d, evRecover, int32(x))
@@ -194,28 +280,29 @@ func (w *Network) handle(ent heapEntry) {
 			}
 			return
 		}
-		w.apply(x, w.nodes[x].HandleMessage(m))
+		w.apply(x, w.peers[x].HandleMessage(m))
 	case evTimer:
 		key := ent.ref
 		var kind core.TimerKind
 		x, kind = timerFromKey(key)
-		if w.down[x] {
+		tp := w.timers[x]
+		if tp == nil || w.down[x] {
 			return
 		}
 		gen := w.Eng.slotGen[key]
-		if w.nodes[x].TimerGen(kind) != gen {
+		if tp.TimerGen(kind) != gen {
 			// Dead timer: cancelled or superseded after its last re-arm,
 			// with no chance for the slot table to reuse its entry.
 			return
 		}
-		w.apply(x, w.nodes[x].HandleTimer(kind, gen))
+		w.apply(x, tp.HandleTimer(kind, gen))
 	case evRequest:
 		w.pendingOps--
 		x = ocube.Pos(ent.ref)
 		if w.down[x] {
 			return
 		}
-		effs, err := w.nodes[x].RequestCS()
+		effs, err := w.peers[x].RequestCS()
 		if err != nil {
 			if w.logging {
 				w.logf("node %v RequestCS: %v", x, err)
@@ -232,8 +319,9 @@ func (w *Network) handle(ent heapEntry) {
 		if w.down[x] {
 			return
 		}
-		if w.nodes[x].InCS() {
+		if w.csAt[x] {
 			w.inCS--
+			w.csAt[x] = false
 		}
 		w.down[x] = true
 		if w.logging {
@@ -249,14 +337,16 @@ func (w *Network) handle(ent heapEntry) {
 		if w.logging {
 			w.logf("node %v RECOVERS", x)
 		}
-		w.apply(x, w.nodes[x].Recover())
+		if rp := w.recovers[x]; rp != nil {
+			w.apply(x, rp.Recover())
+		}
 	case evRelease:
 		w.pendingOps--
 		x = ocube.Pos(ent.ref)
 		if w.down[x] {
 			return
 		}
-		effs, err := w.nodes[x].ReleaseCS()
+		effs, err := w.peers[x].ReleaseCS()
 		if err != nil {
 			// The node is no longer in the CS this release was scheduled
 			// for (it failed there and recovered): the failure already
@@ -267,7 +357,13 @@ func (w *Network) handle(ent heapEntry) {
 			}
 			return
 		}
-		w.inCS--
+		if w.csAt[x] {
+			// Guarded like evFail: a baseline peer that failed in its CS
+			// and recovered with stale state lets ReleaseCS succeed even
+			// though the failure already settled the inCS account.
+			w.inCS--
+			w.csAt[x] = false
+		}
 		if w.logging {
 			w.logf("node %v releases CS", x)
 		}
@@ -278,11 +374,7 @@ func (w *Network) handle(ent heapEntry) {
 
 // refreshBusy recomputes node x's contribution to the busy count.
 func (w *Network) refreshBusy(x ocube.Pos) {
-	b := false
-	if !w.down[x] {
-		node := w.nodes[x]
-		b = node.Asking() || node.InCS() || node.QueueLen() > 0 || node.Searching()
-	}
+	b := !w.down[x] && w.peers[x].Busy()
 	if b != w.busy[x] {
 		w.busy[x] = b
 		if b {
@@ -333,10 +425,26 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 	}
 }
 
-// deliver schedules the transmission of m.
+// deliver schedules the transmission of m, or drops it when the delay
+// model declares it lost. Lost messages are still recorded as sent — the
+// sender paid for them — but never reach their destination.
 func (w *Network) deliver(m Message) {
-	d := w.cfg.Delay(w.rng, m.From, m.To)
+	if !m.To.Valid(w.n) {
+		// A state machine addressed a nonexistent node (e.g. a request
+		// sent to a nil father). Fail loudly with the message instead of
+		// an index panic at delivery time: the simulator's job is to pin
+		// protocol invariants, not to paper over them.
+		panic(fmt.Sprintf("sim: %v sends to invalid destination: %v", m.From, m))
+	}
+	d := w.cfg.Delay(w.rng, w.Eng.Now(), m.From, m.To)
 	w.record(m)
+	if d == Lost {
+		w.lostInTransit++
+		if w.logging {
+			w.logf("LOST in transit: %v", m)
+		}
+		return
+	}
 	w.inflight++
 	if m.Kind == core.KindToken {
 		w.inflightTokens++
@@ -361,6 +469,7 @@ func (w *Network) enterCS(x ocube.Pos) {
 		w.onGrant(x)
 	}
 	w.inCS++
+	w.csAt[x] = true
 	if w.inCS > 1 {
 		w.violations++
 		if w.logging {
@@ -407,27 +516,32 @@ func (w *Network) record(m Message) {
 }
 
 // Busy reports whether any protocol activity is outstanding: in-flight
-// messages, scheduled operations, or nodes that are asking, queueing,
-// searching or in their critical section. Pending timers alone do not
-// make the network busy. The per-node predicate is cached incrementally
-// (refreshBusy), so this is O(1) and cheap enough for RunWhile to call
-// before every event.
+// messages, scheduled operations, or peers reporting busy. Pending timers
+// alone do not make the network busy. The per-node predicate is cached
+// incrementally (refreshBusy), so this is O(1) and cheap enough for
+// RunWhile to call before every event.
 func (w *Network) Busy() bool {
 	return w.inflight > 0 || w.pendingOps > 0 || w.busyN > 0
 }
 
 // RunUntilQuiescent steps until no protocol activity remains or virtual
-// time passes maxTime; it reports whether quiescence was reached.
+// time passes maxTime; it reports whether quiescence was reached. A run
+// that lost a message an algorithm cannot recover from (a baseline under
+// failure) typically returns false here with no events left — the
+// deadlocked peers still report busy.
 func (w *Network) RunUntilQuiescent(maxTime time.Duration) bool {
 	return w.Eng.RunWhile(w.Busy, maxTime)
 }
 
 // Snapshot copies the current father pointers into an ocube.Cube for
 // structural validation. Meaningful at quiescent instants with all nodes
-// up.
+// up, on open-cube networks only (nil otherwise).
 func (w *Network) Snapshot() *ocube.Cube {
 	c := ocube.MustNew(w.cfg.P)
 	for i, node := range w.nodes {
+		if node == nil {
+			return nil
+		}
 		c.SetFather(ocube.Pos(i), node.Father())
 	}
 	return c

@@ -33,9 +33,31 @@ type Transport interface {
 // is preserved per sender-receiver pair (FIFO channels); the algorithm
 // does not require it.
 type Mesh struct {
-	mu     sync.Mutex
-	boxes  []chan core.Message
-	closed bool
+	mu      sync.Mutex
+	boxes   []chan core.Message
+	closed  bool
+	sent    int64
+	dropped int64
+}
+
+// MeshStats are mesh-wide delivery counters. A nonzero Dropped means an
+// inbox overflowed: the send returned an error the caller may have
+// treated as message loss (the cluster runtime deliberately does — the
+// protocol's failure machinery absorbs it), so the counter is how an
+// operator tells sustained overflow from a healthy mesh.
+type MeshStats struct {
+	// Sent counts messages accepted into an inbox.
+	Sent int64
+	// Dropped counts messages rejected because the destination inbox was
+	// full.
+	Dropped int64
+}
+
+// Stats returns a snapshot of the mesh-wide delivery counters.
+func (m *Mesh) Stats() MeshStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MeshStats{Sent: m.sent, Dropped: m.dropped}
 }
 
 // NewMesh builds a mesh of n endpoints with the given per-node buffer.
@@ -83,8 +105,10 @@ func (m *Mesh) send(msg core.Message) error {
 	}
 	select {
 	case m.boxes[msg.To] <- msg:
+		m.sent++
 		return nil
 	default:
+		m.dropped++
 		return fmt.Errorf("transport: inbox of %v full", msg.To)
 	}
 }

@@ -64,6 +64,20 @@ func TestMeshOverflow(t *testing.T) {
 	if err := e.Send(core.Message{To: 1}); err == nil {
 		t.Error("overflowing send succeeded")
 	}
+	// The overflow is not silent: callers that discard the error (the
+	// cluster runtime treats it as message loss) still leave a trace in
+	// the mesh-wide drop counter.
+	if got := m.Stats(); got.Sent != 1 || got.Dropped != 1 {
+		t.Errorf("Stats = %+v, want Sent=1 Dropped=1", got)
+	}
+	// A send to an out-of-range destination is an addressing error, not an
+	// overflow drop.
+	if err := e.Send(core.Message{To: 9}); err == nil {
+		t.Error("send to out-of-range destination succeeded")
+	}
+	if got := m.Stats(); got.Dropped != 1 {
+		t.Errorf("Dropped = %d after addressing error, want 1", got.Dropped)
+	}
 }
 
 func TestMeshClosed(t *testing.T) {

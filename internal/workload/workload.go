@@ -18,15 +18,35 @@ type Request struct {
 	At   time.Duration
 }
 
+// sampleAt draws a uniform instant in [0, horizon]. A degenerate
+// (zero or negative) horizon schedules everything at instant 0 without
+// consuming a random draw — rng.Int63n would panic on a negative bound,
+// and only worked at exactly zero by accident of the +1.
+func sampleAt(rng *rand.Rand, horizon time.Duration) time.Duration {
+	if horizon <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(horizon) + 1))
+}
+
+// clampCount normalizes a negative request count to zero so degenerate
+// schedule parameters yield an empty schedule instead of a panic.
+func clampCount(count int) int {
+	if count < 0 {
+		return 0
+	}
+	return count
+}
+
 // Uniform spreads count requests from uniformly random nodes over the
 // horizon. Per-node collisions are possible; drivers reject a node's
 // overlapping wishes, which models impatient re-requests.
 func Uniform(rng *rand.Rand, n, count int, horizon time.Duration) []Request {
-	out := make([]Request, count)
+	out := make([]Request, clampCount(count))
 	for i := range out {
 		out[i] = Request{
 			Node: rng.Intn(n),
-			At:   time.Duration(rng.Int63n(int64(horizon) + 1)),
+			At:   sampleAt(rng, horizon),
 		}
 	}
 	sortSchedule(out)
@@ -44,7 +64,7 @@ func Hotspot(rng *rand.Rand, n, count int, horizon time.Duration, hotNodes int, 
 	if hotNodes > n {
 		hotNodes = n
 	}
-	out := make([]Request, count)
+	out := make([]Request, clampCount(count))
 	for i := range out {
 		node := rng.Intn(n)
 		if rng.Float64() < hotFraction {
@@ -52,7 +72,7 @@ func Hotspot(rng *rand.Rand, n, count int, horizon time.Duration, hotNodes int, 
 		}
 		out[i] = Request{
 			Node: node,
-			At:   time.Duration(rng.Int63n(int64(horizon) + 1)),
+			At:   sampleAt(rng, horizon),
 		}
 	}
 	sortSchedule(out)
@@ -63,7 +83,7 @@ func Hotspot(rng *rand.Rand, n, count int, horizon time.Duration, hotNodes int, 
 // node set and the rest uniformly from everyone — used by the adaptivity
 // experiment with hot nodes placed adversarially for a static tree.
 func HotspotSet(rng *rand.Rand, n, count int, horizon time.Duration, hot []int, hotFraction float64) []Request {
-	out := make([]Request, count)
+	out := make([]Request, clampCount(count))
 	for i := range out {
 		node := rng.Intn(n)
 		if len(hot) > 0 && rng.Float64() < hotFraction {
@@ -71,7 +91,7 @@ func HotspotSet(rng *rand.Rand, n, count int, horizon time.Duration, hot []int, 
 		}
 		out[i] = Request{
 			Node: node,
-			At:   time.Duration(rng.Int63n(int64(horizon) + 1)),
+			At:   sampleAt(rng, horizon),
 		}
 	}
 	sortSchedule(out)
@@ -79,8 +99,13 @@ func HotspotSet(rng *rand.Rand, n, count int, horizon time.Duration, hot []int, 
 }
 
 // Poisson generates open-loop arrivals with the given mean inter-arrival
-// time until the horizon, each from a uniformly random node.
+// time until the horizon, each from a uniformly random node. A
+// non-positive mean gap or horizon yields an empty schedule (a zero mean
+// gap would otherwise never advance the clock and loop forever).
 func Poisson(rng *rand.Rand, n int, meanGap, horizon time.Duration) []Request {
+	if meanGap <= 0 || horizon <= 0 {
+		return nil
+	}
 	var out []Request
 	t := time.Duration(0)
 	for {
@@ -95,8 +120,11 @@ func Poisson(rng *rand.Rand, n int, meanGap, horizon time.Duration) []Request {
 
 // RoundRobin has every node request exactly once, in positional order,
 // spaced by gap — the sequential sweep used by the exact-average
-// experiment.
+// experiment. A non-positive n yields an empty schedule.
 func RoundRobin(n int, gap time.Duration) []Request {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]Request, n)
 	for i := range out {
 		out[i] = Request{Node: i, At: time.Duration(i) * gap}

@@ -92,6 +92,72 @@ func TestPoissonHorizonRespected(t *testing.T) {
 	}
 }
 
+// TestDegenerateSchedules pins the guards for pathological parameters:
+// zero and negative horizons (rng.Int63n(0+1) only worked at exactly
+// zero by accident; a negative horizon used to panic), negative counts,
+// and the Poisson zero-mean-gap infinite loop.
+func TestDegenerateSchedules(t *testing.T) {
+	tests := []struct {
+		name string
+		gen  func(rng *rand.Rand) []Request
+		want int // expected schedule length
+	}{
+		{"uniform zero horizon", func(rng *rand.Rand) []Request {
+			return Uniform(rng, 8, 10, 0)
+		}, 10},
+		{"uniform negative horizon", func(rng *rand.Rand) []Request {
+			return Uniform(rng, 8, 10, -time.Second)
+		}, 10},
+		{"uniform negative count", func(rng *rand.Rand) []Request {
+			return Uniform(rng, 8, -3, time.Second)
+		}, 0},
+		{"hotspot zero horizon", func(rng *rand.Rand) []Request {
+			return Hotspot(rng, 8, 10, 0, 2, 0.5)
+		}, 10},
+		{"hotspot negative horizon", func(rng *rand.Rand) []Request {
+			return Hotspot(rng, 8, 10, -time.Minute, 2, 0.5)
+		}, 10},
+		{"hotspot negative count", func(rng *rand.Rand) []Request {
+			return Hotspot(rng, 8, -1, time.Second, 2, 0.5)
+		}, 0},
+		{"hotspotset negative horizon", func(rng *rand.Rand) []Request {
+			return HotspotSet(rng, 8, 10, -1, []int{1}, 0.5)
+		}, 10},
+		{"hotspotset negative count", func(rng *rand.Rand) []Request {
+			return HotspotSet(rng, 8, -7, time.Second, []int{1}, 0.5)
+		}, 0},
+		{"poisson zero mean gap", func(rng *rand.Rand) []Request {
+			return Poisson(rng, 8, 0, time.Second)
+		}, 0},
+		{"poisson negative horizon", func(rng *rand.Rand) []Request {
+			return Poisson(rng, 8, time.Millisecond, -time.Second)
+		}, 0},
+		{"round robin zero nodes", func(*rand.Rand) []Request {
+			return RoundRobin(0, time.Millisecond)
+		}, 0},
+		{"round robin negative nodes", func(*rand.Rand) []Request {
+			return RoundRobin(-4, time.Millisecond)
+		}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			got := tc.gen(rng)
+			if len(got) != tc.want {
+				t.Fatalf("len = %d, want %d", len(got), tc.want)
+			}
+			for _, r := range got {
+				if r.At != 0 && tc.want > 0 {
+					t.Fatalf("degenerate horizon scheduled %+v at nonzero instant", r)
+				}
+				if r.Node < 0 || r.Node >= 8 {
+					t.Fatalf("node %d out of range", r.Node)
+				}
+			}
+		})
+	}
+}
+
 func TestRoundRobinShape(t *testing.T) {
 	reqs := RoundRobin(4, 5*time.Millisecond)
 	if len(reqs) != 4 {
