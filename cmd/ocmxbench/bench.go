@@ -175,6 +175,16 @@ func benchJSON(label string, seed int64) error {
 		{"baseline_naimi_trehel", "msgs/grant", func() (int64, float64, error) {
 			return perGrant(harness.BaselineThroughput("classic-naimi-trehel", 6, seed))
 		}},
+		// The e9 lockspace gates are new in PR 4: K instances multiplexed
+		// over one engine through the envelope layer. k256 is the
+		// steady-state mux cell; k4096 stresses lazy instantiation and
+		// the per-node timer wheel under the instance crash.
+		{"e9_n16_k256", "msgs/grant (256-key zipf lockspace)", func() (int64, float64, error) {
+			return perGrant(harness.E9Throughput(4, 256, "zipf", seed))
+		}},
+		{"e9_n16_k4096", "msgs/grant (4096-key zipf lockspace)", func() (int64, float64, error) {
+			return perGrant(harness.E9Throughput(4, 4096, "zipf", seed))
+		}},
 		// e8_n16: the fault-injection comparison's open-cube crash cell
 		// (grants recovered after the CS holder fail-stops), new in PR 3.
 		{"e8_n16", "grants after holder crash", func() (int64, float64, error) {

@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8] [-seed N] [-full] [-parallel N] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9] [-seed N] [-full] [-parallel N] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps; for E7 it extends the large-P sweep to
-// its full P=8..12 range (N=4096).
+// its full P=8..12 range (N=4096), and for E9 it runs the lockspace at
+// N=256 with the instance sweep extended to 4096 keys.
 //
 // -parallel N distributes independent experiment cells over N workers
 // (0, the default, uses GOMAXPROCS; 1 forces the sequential sweep). The
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -172,6 +173,19 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatE8(rows))
+		return nil
+	})
+
+	run("e9", func() error {
+		p := 4
+		if *full {
+			p = 8 // N=256 × up to 4096 keys: the acceptance-scale sweep
+		}
+		rows, err := harness.E9Lockspace(p, harness.E9KeyCounts(*full), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE9(rows))
 		return nil
 	})
 }

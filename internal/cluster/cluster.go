@@ -3,6 +3,11 @@
 // The same state machine runs deterministically under internal/sim; this
 // package exists so the library is usable as an actual lock service
 // (examples/quickstart, examples/tcpcluster).
+//
+// A cluster.Node serves ONE mutex. For many named locks over the same
+// node population, internal/lockspace multiplexes per-key instances of
+// this same state machine behind a keyed Lock(ctx, key) API, with
+// instance-tagged envelopes batched per destination on the wire.
 package cluster
 
 import (

@@ -105,6 +105,12 @@ func (a *effectArena) len() int {
 // Send transmits a message. Msg.From and Msg.To are always set.
 type Send struct{ Msg Message }
 
+// SendEnvelope transmits an instance-tagged envelope — the wire unit of
+// multi-instance lockspace traffic (internal/lockspace). Node state
+// machines themselves only emit Send; the multiplexing layer re-emits
+// their sends as envelopes stamped with the owning instance.
+type SendEnvelope struct{ Env Envelope }
+
 // Grant tells the application layer it now holds the token and may enter
 // the critical section. The application must eventually call ReleaseCS.
 type Grant struct {
@@ -124,7 +130,25 @@ type StartTimer struct {
 
 // TokenRegenerated reports that the node created a replacement token
 // (observability; safety analysis relies on these being genuine losses).
-type TokenRegenerated struct{ Reason string }
+// Epoch is the generation stamped onto the replacement: every token the
+// node sends from now on carries it, which is what makes a surviving
+// older token detectable (see StaleToken).
+type TokenRegenerated struct {
+	Reason string
+	Epoch  uint32
+}
+
+// StaleToken reports the sighting of a token whose epoch predates a
+// regeneration this node knows of: the regeneration did not replace a
+// lost token — it raced one that was still alive. The counter separates
+// "regeneration raced a live token" from true loss in the E8 fault
+// reports. Detection is a lower bound: only nodes that already learned
+// the newer epoch can recognize the survivor.
+type StaleToken struct {
+	Msg   Message
+	Epoch uint32 // epoch carried by the sighted token
+	Known uint32 // newer epoch the observer had already seen
+}
 
 // BecameRoot reports that the node concluded it is the new tree root
 // (observability).
@@ -153,6 +177,7 @@ type SearchEnded struct {
 // *Grant, … pointing into their scratch arenas, and drivers type-switch
 // on the pointer types.
 func (*Send) effect()             {}
+func (*SendEnvelope) effect()     {}
 func (*Grant) effect()            {}
 func (*StartTimer) effect()       {}
 func (*TokenRegenerated) effect() {}
@@ -160,3 +185,4 @@ func (*BecameRoot) effect()       {}
 func (*Dropped) effect()          {}
 func (*SearchStarted) effect()    {}
 func (*SearchEnded) effect()      {}
+func (*StaleToken) effect()       {}

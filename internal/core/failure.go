@@ -193,6 +193,7 @@ func (n *Node) regenerateToken(reason string) {
 	n.loanSource, n.loanTarget = ocube.None, ocube.None
 	n.returnGrace = false
 	n.tokenHere = true
+	n.bumpEpoch()
 	n.emitRegenerated(reason)
 	n.asking = false
 	n.drain()
@@ -260,6 +261,7 @@ func (n *Node) becomeRootWithToken(reason string) {
 	n.father = ocube.None
 	n.emitBecameRoot(reason)
 	n.tokenHere = true
+	n.bumpEpoch()
 	n.emitRegenerated(reason)
 	switch {
 	case n.mandator == n.cfg.Self:
@@ -276,7 +278,7 @@ func (n *Node) becomeRootWithToken(reason string) {
 		// Serve the mandate by lending the regenerated token.
 		n.cancelTimer(TimerSuspicion)
 		n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
-			Source: n.curSource, Seq: n.curSeq})
+			Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch})
 		n.tokenHere = false
 		n.beginLoan(n.mandator, n.curSource, n.curSeq)
 		n.mandator = ocube.None
@@ -286,6 +288,14 @@ func (n *Node) becomeRootWithToken(reason string) {
 		n.asking = false
 		n.drain()
 	}
+}
+
+// bumpEpoch advances the token generation for a regeneration: the
+// replacement carries the new epoch, so any survivor of the replaced
+// generation is recognizable wherever the new epoch has been seen.
+func (n *Node) bumpEpoch() {
+	n.epoch++
+	n.tokenEpoch = n.epoch
 }
 
 // --- search_father (Section 5) ---
@@ -549,8 +559,10 @@ func (n *Node) onAnomaly(m Message) {
 // retains only pmax and the distance function (pure label arithmetic
 // here) from stable storage — plus its request sequence counter, our
 // stable-storage addition that keeps re-issued requests monotonic (see
-// DESIGN.md). The node reconnects by running search_father from phase 1,
-// i.e. as if it were a leaf.
+// DESIGN.md), and its token-epoch high-water mark, so stale-token
+// sightings survive the crash of the very node that regenerated. The
+// node reconnects by running search_father from phase 1, i.e. as if it
+// were a leaf.
 func (n *Node) Recover() []Effect {
 	n.begin()
 	n.father = ocube.None

@@ -158,6 +158,14 @@ type Message struct {
 	// father cycles and double token regeneration (an amendment to the
 	// paper's concurrent-suspicion rules, see DESIGN.md).
 	FromSearcher bool
+	// Epoch is the token-generation stamp carried by token messages: every
+	// regeneration increments the regenerator's epoch, so a token observed
+	// with an epoch below the observer's proves a regeneration raced a
+	// still-live token (the replaced token survived) rather than replacing
+	// a genuinely lost one. Pure observability — reception never behaves
+	// differently on a stale epoch, it only emits a StaleToken effect.
+	// (Declared after the one-byte fields so it packs into their word.)
+	Epoch uint32
 }
 
 // String renders a compact human-readable form for logs and test failures.
@@ -189,4 +197,30 @@ func regenMark(regen bool) string {
 		return "*"
 	}
 	return ""
+}
+
+// NoInstance is the Envelope.Instance value of untagged single-instance
+// traffic: the classic one-mutex deployments never set an instance, so
+// the zero value keeps their wire format and trace output unchanged.
+const NoInstance uint64 = 0
+
+// Envelope is the multi-instance wire unit: one protocol message tagged
+// with the lock instance it belongs to. A lockspace multiplexes thousands
+// of independent open-cube mutexes over one runtime by enveloping every
+// message; single-instance deployments keep sending bare Messages, which
+// drivers treat as Envelope{Instance: NoInstance}.
+type Envelope struct {
+	// Instance identifies the lock instance (NoInstance for the classic
+	// single-mutex traffic). Live lockspaces derive it from the lock key
+	// (lockspace.KeyInstance); the simulator uses dense ids 1..K.
+	Instance uint64
+	Msg      Message
+}
+
+// String renders the envelope with its instance tag.
+func (e Envelope) String() string {
+	if e.Instance == NoInstance {
+		return e.Msg.String()
+	}
+	return fmt.Sprintf("[inst %d] %v", e.Instance, e.Msg)
 }

@@ -109,6 +109,18 @@ type Node struct {
 	q         waitQueue // the paper's per-node waiting queue (pool.go)
 	wantCS    bool      // a local enter_cs is queued, pending, or executing
 
+	// epoch is the highest token generation this node has observed (see
+	// Message.Epoch). Regeneration increments it; receiving a token with a
+	// lower epoch proves the regeneration raced a live token and emits a
+	// StaleToken sighting. tokenEpoch is the generation of the token
+	// currently (or last) held — outgoing tokens are stamped with it, so a
+	// surviving stale token keeps its old stamp instead of being laundered
+	// by a better-informed forwarder. Like seq, epoch survives recovery
+	// (stable storage), so the node that regenerated keeps recognizing
+	// survivors.
+	epoch      uint32
+	tokenEpoch uint32
+
 	// Request bookkeeping (Section 5 extensions). track pools the
 	// per-source duplicate-discard state (pool.go).
 	seq       uint64    // own request sequence (survives recovery: stable storage)
@@ -215,6 +227,9 @@ func (n *Node) Power() int {
 // Policy returns the node's scheme policy.
 func (n *Node) Policy() Policy { return n.policy }
 
+// Epoch returns the highest token generation the node has observed.
+func (n *Node) Epoch() uint32 { return n.epoch }
+
 func (n *Node) view() View {
 	return View{Self: n.cfg.Self, Father: n.father, TokenHere: n.tokenHere, Pmax: n.cfg.P}
 }
@@ -263,8 +278,15 @@ func (n *Node) emitDropped(m Message, reason string) {
 }
 
 func (n *Node) emitRegenerated(reason string) {
-	n.arena.regens = append(n.arena.regens, TokenRegenerated{Reason: reason})
+	n.arena.regens = append(n.arena.regens, TokenRegenerated{Reason: reason, Epoch: n.epoch})
 	n.effects = append(n.effects, &n.arena.regens[len(n.arena.regens)-1])
+}
+
+func (n *Node) emitStaleToken(m Message) {
+	// No arena: sightings require a raced regeneration first, so they are
+	// rare by construction, and a heap allocation here is cheaper than a
+	// permanent arena header on every node of every network.
+	n.effects = append(n.effects, &StaleToken{Msg: m, Epoch: m.Epoch, Known: n.epoch})
 }
 
 func (n *Node) emitBecameRoot(reason string) {
@@ -353,7 +375,7 @@ func (n *Node) ReleaseCS() ([]Effect, error) {
 	n.wantCS = false
 	if n.lender != n.cfg.Self {
 		n.send(Message{Kind: KindToken, To: n.lender, Lender: ocube.None,
-			Source: n.cfg.Self, Seq: n.csSeq})
+			Source: n.cfg.Self, Seq: n.csSeq, Epoch: n.tokenEpoch})
 		n.tokenHere = false
 		n.guardTransfer(n.lender, n.csSeq, ocube.None)
 	}
@@ -438,7 +460,7 @@ func (n *Node) processRequest(m Message) {
 		if n.tokenHere {
 			// Give up the token outright: the requester becomes the root.
 			n.send(Message{Kind: KindToken, To: m.Target, Lender: ocube.None,
-				Source: m.Source, Seq: m.Seq})
+				Source: m.Source, Seq: m.Seq, Epoch: n.tokenEpoch})
 			n.tokenHere = false
 			if m.Target == m.Source {
 				// Only a transfer straight to the source proves its grant;
@@ -462,7 +484,7 @@ func (n *Node) processRequest(m Message) {
 		if n.tokenHere {
 			// Temporarily lend the token; it must come back here.
 			n.send(Message{Kind: KindToken, To: m.Target, Lender: n.cfg.Self,
-				Source: m.Source, Seq: m.Seq})
+				Source: m.Source, Seq: m.Seq, Epoch: n.tokenEpoch})
 			n.tokenHere = false
 			n.beginLoan(m.Target, m.Source, m.Seq)
 		} else {
@@ -564,6 +586,15 @@ func (n *Node) onObsolete(m Message) {
 // onToken is the paper's "receipt of token(j) from k" action. Token
 // receipt is never delayed by the asking flag.
 func (n *Node) onToken(m Message) {
+	// Epoch accounting first, before any guard can drop the message: a
+	// token stamped below our known epoch is a survivor of a regeneration
+	// we know of — report the sighting (observability only; the handling
+	// below is unchanged). Otherwise adopt the newer knowledge.
+	if m.Epoch < n.epoch {
+		n.emitStaleToken(m)
+	} else {
+		n.epoch = m.Epoch
+	}
 	if m.Lender == ocube.None && n.cfg.FT {
 		// Unlent tokens are guarded by their sender until acknowledged.
 		n.send(Message{Kind: KindTokenAck, To: m.From, Seq: m.Seq})
@@ -581,6 +612,7 @@ func (n *Node) onToken(m Message) {
 			return
 		}
 		n.tokenHere = true
+		n.tokenEpoch = m.Epoch
 		n.father = ocube.None
 		n.emitBecameRoot("adopted stray unlent token")
 		n.drain()
@@ -591,6 +623,7 @@ func (n *Node) onToken(m Message) {
 		n.endSearch()
 	}
 	n.tokenHere = true
+	n.tokenEpoch = m.Epoch
 	switch {
 	case n.mandator == ocube.None:
 		// Return of the token after a loan.
@@ -628,7 +661,7 @@ func (n *Node) onToken(m Message) {
 			n.father = ocube.None
 			n.emitBecameRoot("received unlent token as proxy")
 			n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
-				Source: n.curSource, Seq: n.curSeq})
+				Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch})
 			n.tokenHere = false
 			n.beginLoan(n.mandator, n.curSource, n.curSeq)
 			n.mandator = ocube.None
@@ -637,7 +670,7 @@ func (n *Node) onToken(m Message) {
 		} else {
 			n.father = m.From
 			n.send(Message{Kind: KindToken, To: n.mandator, Lender: m.Lender,
-				Source: n.curSource, Seq: n.curSeq})
+				Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch})
 			n.tokenHere = false
 			n.mandator = ocube.None
 			n.curSource = ocube.None

@@ -66,12 +66,19 @@ func e8Horizon(n int) time.Duration { return time.Duration(8*n) * delta }
 
 // E8Row is one (algorithm, scenario) measurement.
 type E8Row struct {
-	Algorithm  string
-	N          int
-	Scenario   string
-	Requests   int   // scheduled critical-section wishes
-	Grants     int64 // critical sections actually served
-	Regens     int64 // token regenerations (open-cube only by construction)
+	Algorithm string
+	N         int
+	Scenario  string
+	Requests  int   // scheduled critical-section wishes
+	Grants    int64 // critical sections actually served
+	Regens    int64 // token regenerations (open-cube only by construction)
+	// Stale counts stale-epoch token sightings: of the Regens column,
+	// at least this many raced a token that was still alive (the loss
+	// conclusion was premature) rather than replacing a true loss. Only
+	// meaningful beyond the paper's reliable-channel model — the lossy
+	// and partition scenarios — and a lower bound by construction (see
+	// core.StaleToken).
+	Stale      int64
 	Lost       int64 // messages lost in transit or at failed nodes
 	Violations int64
 	Completed  bool // the run quiesced: no request left waiting forever
@@ -161,6 +168,7 @@ func runE8(algo, scenario string, p int, reqs []workload.Request, seed int64) (E
 	row.Completed = w.RunUntilQuiescent(24 * time.Hour)
 	row.Grants = w.Grants()
 	row.Regens = w.Regenerations()
+	row.Stale = w.StaleTokens()
 	row.Lost = w.LostInTransit() + w.LostToFailed()
 	row.Violations = w.Violations()
 	return row, nil
@@ -168,7 +176,7 @@ func runE8(algo, scenario string, p int, reqs []workload.Request, seed int64) (E
 
 // FormatE8 renders the fault-injection comparison grouped by scenario.
 func FormatE8(rows []E8Row) string {
-	header := []string{"scenario", "N", "algorithm", "requests", "grants", "regens", "lost", "violations", "outcome"}
+	header := []string{"scenario", "N", "algorithm", "requests", "grants", "regens", "stale", "lost", "violations", "outcome"}
 	body := make([][]string, len(rows))
 	for i, r := range rows {
 		outcome := "completed"
@@ -182,6 +190,7 @@ func FormatE8(rows []E8Row) string {
 			strconv.Itoa(r.Requests),
 			strconv.FormatInt(r.Grants, 10),
 			strconv.FormatInt(r.Regens, 10),
+			strconv.FormatInt(r.Stale, 10),
 			strconv.FormatInt(r.Lost, 10),
 			strconv.FormatInt(r.Violations, 10),
 			outcome,

@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/lockspace"
+	"repro/internal/ocube"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// E9 — lockspace scaling: resources as the unit of scale. Every earlier
+// experiment grows the node count N of ONE mutex; a production lock
+// service grows the number of named resources it serves. E9 multiplexes
+// K independent open-cube instances over one engine (internal/lockspace)
+// and sweeps K from 1 to 4096 under uniform and Zipf-skewed key
+// popularity, with the E8 crash scenario injected into the hottest
+// instance: the node granted that instance's second critical section
+// fail-stops inside it and recovers much later, dragging every instance
+// it hosts through Section 5 recovery at once.
+//
+// The quantities to watch: msgs/grant must stay put as K grows (per the
+// paper, the per-CS cost depends on N and the tree shape, never on how
+// many other locks share the runtime), states counts the lazily
+// instantiated (position, instance) machines against the 2^P·K worst
+// case, and violations pins per-instance mutual exclusion across the
+// whole space.
+
+// E9Skews lists the key-popularity models in report order.
+var E9Skews = []string{"uniform", "zipf"}
+
+// e9ZipfS is the Zipf exponent of the skewed cells (classic web-object
+// popularity).
+const e9ZipfS = 1.1
+
+// E9KeyCounts returns the instance-count sweep: 1 → 4096.
+func E9KeyCounts(full bool) []int {
+	if full {
+		return []int{1, 16, 256, 4096}
+	}
+	return []int{1, 16, 256}
+}
+
+// E9Row is one (K, skew) measurement.
+type E9Row struct {
+	N          int
+	Keys       int
+	Skew       string
+	Requests   int
+	Grants     int64
+	MsgsPerCS  float64 // delivered protocol messages per critical section
+	Regens     int64   // token regenerations (crash recovery at work)
+	Stale      int64   // stale-epoch token sightings
+	Violations int64   // per-instance overlaps — zero in every safe run
+	States     int     // lazily instantiated (position, instance) machines
+	Completed  bool
+}
+
+// E9Lockspace sweeps instance counts × skews at cube order p. Cells are
+// independent and seeded from their coordinates, so the sweep is
+// byte-identical at any parallelism.
+func E9Lockspace(p int, keyCounts []int, seed int64) ([]E9Row, error) {
+	type cell struct {
+		keys int
+		skew string
+	}
+	var cells []cell
+	for _, k := range keyCounts {
+		for _, s := range E9Skews {
+			cells = append(cells, cell{keys: k, skew: s})
+		}
+	}
+	rows := make([]E9Row, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		row, _, err := runE9(p, c.keys, c.skew, seed)
+		if err != nil {
+			return fmt.Errorf("harness: e9 k=%d/%s: %w", c.keys, c.skew, err)
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// E9Throughput runs one lockspace cell and reports the delivered
+// messages and grants — the BENCH_*.json gate behind the e9_* entries.
+func E9Throughput(p, keys int, skew string, seed int64) (msgs, grants int64, err error) {
+	row, msgs, err := runE9(p, keys, skew, seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !row.Completed {
+		return 0, 0, fmt.Errorf("harness: e9 k=%d/%s did not quiesce", keys, skew)
+	}
+	if row.Violations != 0 {
+		return 0, 0, fmt.Errorf("harness: e9 k=%d/%s had %d violations", keys, skew, row.Violations)
+	}
+	return msgs, row.Grants, nil
+}
+
+// runE9 is one lockspace cell: a keyed schedule over K instances with
+// the crash injected into the hottest key's second grant.
+func runE9(p, keys int, skew string, seed int64) (E9Row, int64, error) {
+	n := 1 << p
+	row := E9Row{N: n, Keys: keys, Skew: skew}
+	// Per-cell seed: a fixed mix of the coordinates, so adding or
+	// reordering cells never changes another cell's draw stream.
+	cellSeed := seed + int64(keys)*7919
+	if skew == "zipf" {
+		cellSeed++
+	}
+	count := 6 * keys
+	if count < 4*n {
+		count = 4 * n
+	}
+	// The horizon keeps even the Zipf rank-0 key (and the K=1 single
+	// mutex) below saturation: requests must arrive slower than one per
+	// critical section plus round trip — about (3/2·p + CS)·δ, scaled
+	// here to ~(4p+8)δ spacing for headroom — or queueing delays exceed
+	// the suspicion bound and healthy waits masquerade as failures (the
+	// DESIGN.md §7 storm regime, which is not what E9 measures).
+	horizon := time.Duration(count*(4*p+8)) * delta
+	rng := newRng(cellSeed)
+	var reqs []workload.KeyedRequest
+	switch skew {
+	case "uniform":
+		reqs = workload.KeyedUniform(rng, n, keys, count, horizon)
+	case "zipf":
+		var err error
+		reqs, err = workload.KeyedZipf(rng, n, keys, count, horizon, e9ZipfS)
+		if err != nil {
+			return row, 0, err
+		}
+	default:
+		return row, 0, fmt.Errorf("unknown skew %q", skew)
+	}
+	row.Requests = len(reqs)
+
+	// The suspicion slack grows with the cube order: queueing behind a
+	// busy key scales with the (3/2·p)·δ round trip, and a slack tuned
+	// for small cubes lets healthy large-P waits masquerade as failures
+	// (the same reasoning as ftNodeConfig, rescaled).
+	node := ftNodeConfig()
+	node.SuspicionSlack += time.Duration(8*p) * delta
+	rec := &trace.Recorder{}
+	sp, err := lockspace.NewSpace(lockspace.SpaceConfig{
+		P:         p,
+		Instances: keys,
+		Node:      node,
+		Seed:      cellSeed,
+		Delay:     sim.UniformDelay(delta/2, delta),
+		CSTime:    csTime(delta),
+		Recorder:  rec,
+	})
+	if err != nil {
+		return row, 0, err
+	}
+	// Crash the node serving the hot instance's second grant while it is
+	// inside that critical section; recover it well after the suspicion
+	// and enquiry machinery of every affected instance has concluded.
+	// Key 0 is the Zipf rank-0 key, i.e. the hottest by construction.
+	// The K=1 cell is exempt: it is the single-mutex overhead anchor
+	// (how much the envelope layer costs against E1–E8's plain runs),
+	// and a crash there just re-litigates E3/E8 — at large N it lands in
+	// the DESIGN.md §7 storm residual the episode-structured experiments
+	// deliberately avoid.
+	if keys > 1 {
+		hotGrants := 0
+		sp.OnGrant(func(inst int, x ocube.Pos) {
+			if inst == 0 {
+				hotGrants++
+				if hotGrants == 2 {
+					sp.Network().Fail(x, 0)
+					sp.Network().Recover(x, 400*delta)
+				}
+			}
+		})
+	}
+	for _, r := range reqs {
+		sp.Request(r.Key, ocube.Pos(r.Node), r.At)
+	}
+	// The settle window after the horizon covers the crash outage plus a
+	// few full search generations at the rescaled round delay; a space
+	// still churning past it is in the DESIGN.md §7 storm regime and is
+	// reported STALLED rather than simulated to exhaustion.
+	row.Completed = sp.Run(horizon + 32000*delta)
+	row.Grants = sp.Grants()
+	row.Regens = sp.Regenerations()
+	row.Stale = sp.StaleTokens()
+	row.Violations = sp.Violations()
+	row.States = sp.States()
+	if row.Grants > 0 {
+		row.MsgsPerCS = float64(rec.Total()) / float64(row.Grants)
+	}
+	return row, rec.Total(), nil
+}
+
+// FormatE9 renders the lockspace sweep.
+func FormatE9(rows []E9Row) string {
+	header := []string{"N", "keys", "skew", "requests", "grants", "msgs/CS", "regens", "stale", "violations", "states", "max states", "outcome"}
+	body := make([][]string, len(rows))
+	for i, r := range rows {
+		outcome := "completed"
+		if !r.Completed {
+			outcome = "STALLED"
+		}
+		body[i] = []string{
+			strconv.Itoa(r.N),
+			strconv.Itoa(r.Keys),
+			r.Skew,
+			strconv.Itoa(r.Requests),
+			strconv.FormatInt(r.Grants, 10),
+			fmt.Sprintf("%.2f", r.MsgsPerCS),
+			strconv.FormatInt(r.Regens, 10),
+			strconv.FormatInt(r.Stale, 10),
+			strconv.FormatInt(r.Violations, 10),
+			strconv.Itoa(r.States),
+			strconv.Itoa(r.N * r.Keys),
+			outcome,
+		}
+	}
+	return "E9 — lockspace scaling (K instances multiplexed over one engine, crash injected into the hot instance)\n" +
+		table(header, body)
+}

@@ -1,6 +1,7 @@
 // Package harness regenerates every quantitative claim of the paper's
-// evaluation (DESIGN.md experiments E1-E6) and formats the results as the
-// tables printed by cmd/ocmxbench and recorded in EXPERIMENTS.md.
+// evaluation and the repository's extensions (DESIGN.md experiments
+// E1-E9) and formats the results as the tables printed by cmd/ocmxbench
+// and recorded in EXPERIMENTS.md.
 //
 // Every experiment is deterministic given its seed, and stays so when the
 // independent (p, seed, probe) cells are spread over a worker pool with

@@ -220,6 +220,52 @@ func TestE8FaultComparisonShape(t *testing.T) {
 	}
 }
 
+func TestE9LockspaceShape(t *testing.T) {
+	// The lockspace claim: per-CS message cost is a property of N and the
+	// tree, never of how many other instances share the runtime — and
+	// per-instance mutual exclusion holds across the whole space even
+	// with the hot instance's holder crashed mid-CS.
+	rows, err := E9Lockspace(4, []int{1, 64}, 1993)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(E9Skews) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*len(E9Skews))
+	}
+	var anchor float64
+	for _, r := range rows {
+		if !r.Completed {
+			t.Errorf("k=%d/%s: stalled", r.Keys, r.Skew)
+		}
+		if r.Violations != 0 {
+			t.Errorf("k=%d/%s: %d per-instance violations", r.Keys, r.Skew, r.Violations)
+		}
+		if r.Grants == 0 {
+			t.Errorf("k=%d/%s: no grants", r.Keys, r.Skew)
+		}
+		if r.States > r.N*r.Keys {
+			t.Errorf("k=%d/%s: states %d exceed worst case", r.Keys, r.Skew, r.States)
+		}
+		if r.Keys == 1 && r.Skew == "uniform" {
+			anchor = r.MsgsPerCS
+		}
+		if r.Keys > 1 && r.Regens == 0 {
+			t.Errorf("k=%d/%s: crash injection never regenerated", r.Keys, r.Skew)
+		}
+	}
+	for _, r := range rows {
+		// Multiplexing 64 instances must not inflate the per-CS cost
+		// beyond crash-recovery noise (generous 3x guard; the recorded
+		// sweeps sit within a few percent of the anchor).
+		if r.Keys == 64 && r.MsgsPerCS > 3*anchor {
+			t.Errorf("k=64/%s: msgs/CS %.2f vs single-instance %.2f — cost grew with K", r.Skew, r.MsgsPerCS, anchor)
+		}
+	}
+	if s := FormatE9(rows); !strings.Contains(s, "E9") || !strings.Contains(s, "zipf") {
+		t.Error("FormatE9 missing header or skew rows")
+	}
+}
+
 func TestWorkloadGenerators(t *testing.T) {
 	rng := newRng(1)
 	u := workload.Uniform(rng, 8, 100, 1000)

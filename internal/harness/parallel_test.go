@@ -46,6 +46,11 @@ func renderAll(t *testing.T) string {
 		t.Fatalf("E7: %v", err)
 	}
 	b.WriteString(FormatE7(e7))
+	e9, err := E9Lockspace(3, []int{1, 16}, seed)
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	b.WriteString(FormatE9(e9))
 	return b.String()
 }
 
@@ -62,7 +67,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if seq != par {
 		t.Errorf("parallel sweep diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
-	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E7 —") {
+	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E7 —") || !strings.Contains(seq, "E9 —") {
 		t.Errorf("rendered tables look truncated:\n%s", seq)
 	}
 }

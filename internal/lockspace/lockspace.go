@@ -1,0 +1,385 @@
+// Package lockspace is the keyed multi-instance lock service: thousands
+// of independent open-cube mutexes — one per lock key — multiplexed over
+// a single runtime. Messages travel as instance-tagged envelopes around
+// the unchanged core.Message wire format; per-instance state machines
+// are lazily instantiated on first touch (an untouched position of an
+// instance is exactly a pristine core.Node, because a node's view of an
+// instance only changes by processing that instance's traffic); and
+// every instance shares its node's resources — one goroutine per node in
+// the live path (this file), one typed-event engine in the simulated
+// path (mux.go), one transport mesh with per-destination envelope
+// batching on the wire.
+//
+// The unit of scale here is resources rather than nodes: the paper's
+// O(log₂²N) per-critical-section bound holds per instance, and the
+// lockspace serves K instances for the price of one shared runtime —
+// the E9 experiment (internal/harness) sweeps K from 1 to 4096 under
+// uniform and Zipf-skewed key popularity with crash/recovery injection.
+package lockspace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+// ErrClosed is returned by operations on a closed lockspace node.
+var ErrClosed = errors.New("lockspace: closed")
+
+// ErrNotLocked is returned by Unlock when this node holds no lock on the
+// key.
+var ErrNotLocked = errors.New("lockspace: key not locked by this node")
+
+// KeyInstance maps a lock key to its instance id (64-bit FNV-1a). Every
+// node of a lockspace derives the same id without coordination, which is
+// what lets an instance exist lazily: the first envelope that mentions
+// it is enough. Distinct keys hashing to one id simply share a mutex —
+// mutual exclusion still holds, the keys just contend with each other.
+func KeyInstance(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	if h == core.NoInstance {
+		h = 1 // NoInstance tags untagged traffic; never use it for a key
+	}
+	return h
+}
+
+// Config describes one live lockspace node.
+type Config struct {
+	// Node is the per-instance state-machine template: Self and P name
+	// this node's position and the cube order; FT/Delta/... configure the
+	// Section 5 failure handling of every instance.
+	Node core.Config
+	// Transport carries envelope batches between the lockspace nodes. The
+	// caller owns its lifetime.
+	Transport transport.BatchTransport
+}
+
+// Lockspace is one node of the live keyed lock service, driving every
+// hosted instance from a single goroutine — the per-node shared resource
+// of the live path — with real timers and per-destination batching of
+// outbound envelopes.
+type Lockspace struct {
+	cfg Config
+
+	calls  chan lcall
+	timerC chan ltimer
+	stop   chan struct{}
+	done   chan struct{}
+
+	// Loop-owned state (no locks: only the loop goroutine touches it).
+	insts  map[uint64]*instance
+	outbox map[ocube.Pos][]core.Envelope
+	dests  []ocube.Pos // destinations touched this iteration, in touch order
+
+	states atomic.Int64
+	closed atomic.Bool
+}
+
+// instance is one lazily instantiated lock at this node, with its local
+// FIFO of waiting clients. The queue head is the current holder once
+// held is set, else the client whose RequestCS is in flight.
+type instance struct {
+	node  *core.Node
+	queue []*waiter
+	held  bool
+}
+
+type waiter struct {
+	granted chan struct{}
+}
+
+type lop uint8
+
+const (
+	opAcquire lop = iota + 1
+	opRelease
+)
+
+type lcall struct {
+	op    lop
+	inst  uint64
+	w     *waiter // acquire: the waiter to enqueue; release: required holder (nil = any)
+	reply chan error
+}
+
+type ltimer struct {
+	inst uint64
+	kind core.TimerKind
+	gen  uint64
+}
+
+// New builds and starts a lockspace node. The caller owns the
+// transport's lifetime.
+func New(cfg Config) (*Lockspace, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("lockspace: nil transport")
+	}
+	// Validate the template once so lazy instantiation cannot fail.
+	if _, err := core.NewNode(cfg.Node); err != nil {
+		return nil, fmt.Errorf("lockspace: node template: %w", err)
+	}
+	ls := &Lockspace{
+		cfg:    cfg,
+		calls:  make(chan lcall),
+		timerC: make(chan ltimer, 128),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		insts:  make(map[uint64]*instance),
+		outbox: make(map[ocube.Pos][]core.Envelope),
+	}
+	go ls.loop()
+	return ls, nil
+}
+
+// Self returns this node's position.
+func (ls *Lockspace) Self() ocube.Pos { return ls.cfg.Node.Self }
+
+// States returns how many instance state machines this node has
+// instantiated — the lazy footprint, versus one per key ever seen
+// anywhere.
+func (ls *Lockspace) States() int64 { return ls.states.Load() }
+
+// Lock blocks until this node holds key's lock, or ctx is done. On
+// cancellation after the request was issued, the eventual grant is
+// released immediately (the protocol has no request recall — same
+// abandonment rule as cluster.Node.Lock).
+func (ls *Lockspace) Lock(ctx context.Context, key string) error {
+	id := KeyInstance(key)
+	w := &waiter{granted: make(chan struct{})}
+	reply := make(chan error, 1)
+	select {
+	case ls.calls <- lcall{op: opAcquire, inst: id, w: w, reply: reply}:
+	case <-ls.stop:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := <-reply; err != nil {
+		return fmt.Errorf("lockspace: lock %q: %w", key, err)
+	}
+	select {
+	case <-w.granted:
+		return nil
+	case <-ctx.Done():
+		// Abandon: when the grant eventually reaches this waiter, give
+		// the lock right back.
+		go func() {
+			select {
+			case <-w.granted:
+				reply := make(chan error, 1)
+				select {
+				case ls.calls <- lcall{op: opRelease, inst: id, w: w, reply: reply}:
+					<-reply
+				case <-ls.stop:
+				}
+			case <-ls.stop:
+			}
+		}()
+		return ctx.Err()
+	case <-ls.stop:
+		return ErrClosed
+	}
+}
+
+// Unlock releases this node's hold on key's lock and hands it to the
+// next local waiter, if any.
+func (ls *Lockspace) Unlock(key string) error {
+	reply := make(chan error, 1)
+	select {
+	case ls.calls <- lcall{op: opRelease, inst: KeyInstance(key), reply: reply}:
+	case <-ls.stop:
+		return ErrClosed
+	}
+	if err := <-reply; err != nil {
+		return fmt.Errorf("lockspace: unlock %q: %w", key, err)
+	}
+	return nil
+}
+
+// Close stops the node's loop and timers. It does not close the
+// transport.
+func (ls *Lockspace) Close() error {
+	if ls.closed.Swap(true) {
+		return nil
+	}
+	close(ls.stop)
+	<-ls.done
+	return nil
+}
+
+// loop is the node's single event loop: every hosted instance's inputs
+// — inbound envelope batches, timer fires, client calls — funnel through
+// it, and each iteration's outbound envelopes flush as one batch per
+// destination.
+func (ls *Lockspace) loop() {
+	defer close(ls.done)
+	for {
+		select {
+		case <-ls.stop:
+			return
+		case batch, ok := <-ls.cfg.Transport.RecvBatch():
+			if !ok {
+				return
+			}
+			for _, env := range batch {
+				if env.Instance == core.NoInstance {
+					continue // untagged traffic is not ours
+				}
+				st := ls.ensure(env.Instance)
+				ls.apply(env.Instance, st, st.node.HandleMessage(env.Msg))
+			}
+		case tf := <-ls.timerC:
+			st := ls.insts[tf.inst]
+			if st == nil || st.node.TimerGen(tf.kind) != tf.gen {
+				break // dead fire: instance unknown or generation superseded
+			}
+			ls.apply(tf.inst, st, st.node.HandleTimer(tf.kind, tf.gen))
+		case c := <-ls.calls:
+			switch c.op {
+			case opAcquire:
+				c.reply <- ls.acquire(c.inst, c.w)
+			case opRelease:
+				c.reply <- ls.release(c.inst, c.w)
+			}
+		}
+		ls.flush()
+	}
+}
+
+// ensure returns the instance, instantiating its pristine state machine
+// on first touch.
+func (ls *Lockspace) ensure(id uint64) *instance {
+	st := ls.insts[id]
+	if st == nil {
+		node, err := core.NewNode(ls.cfg.Node)
+		if err != nil {
+			// The template was validated by New; this is unreachable.
+			panic(fmt.Sprintf("lockspace: instantiate %d: %v", id, err))
+		}
+		st = &instance{node: node}
+		ls.insts[id] = st
+		ls.states.Add(1)
+	}
+	return st
+}
+
+// acquire enqueues a waiter and issues the protocol request when it is
+// first in line.
+func (ls *Lockspace) acquire(id uint64, w *waiter) error {
+	st := ls.ensure(id)
+	st.queue = append(st.queue, w)
+	if len(st.queue) > 1 || st.held {
+		return nil // an earlier local waiter already drives the protocol
+	}
+	effs, err := st.node.RequestCS()
+	if err != nil {
+		st.queue = st.queue[:len(st.queue)-1]
+		return err
+	}
+	ls.apply(id, st, effs)
+	return nil
+}
+
+// release ends the head waiter's hold (need == nil releases whoever
+// holds; an abandoned waiter passes itself so a later holder is never
+// robbed) and starts the next waiter's request.
+func (ls *Lockspace) release(id uint64, need *waiter) error {
+	st := ls.insts[id]
+	if st == nil || !st.held || len(st.queue) == 0 {
+		if need != nil {
+			return nil // abandoned waiter already superseded: nothing to give back
+		}
+		return ErrNotLocked
+	}
+	if need != nil && st.queue[0] != need {
+		return nil
+	}
+	effs, err := st.node.ReleaseCS()
+	if err != nil {
+		return err
+	}
+	st.held = false
+	st.queue = st.queue[1:]
+	ls.apply(id, st, effs)
+	if len(st.queue) > 0 {
+		effs, err := st.node.RequestCS()
+		if err != nil {
+			// Cannot happen (the release cleared the local wish); surface
+			// loudly if the state machine disagrees.
+			panic(fmt.Sprintf("lockspace: re-request after release: %v", err))
+		}
+		ls.apply(id, st, effs)
+	}
+	return nil
+}
+
+// apply executes one instance's effects: sends join the per-destination
+// outbox (flushed once per loop iteration), timers arm real clocks,
+// grants wake the head waiter.
+func (ls *Lockspace) apply(id uint64, st *instance, effs []core.Effect) {
+	for _, e := range effs {
+		switch e := e.(type) {
+		case *core.Send:
+			to := e.Msg.To
+			if len(ls.outbox[to]) == 0 {
+				ls.dests = append(ls.dests, to)
+			}
+			ls.outbox[to] = append(ls.outbox[to], core.Envelope{Instance: id, Msg: e.Msg})
+		case *core.StartTimer:
+			ls.armTimer(id, *e)
+		case *core.Grant:
+			if len(st.queue) == 0 {
+				// A grant with no local waiter (defensive: the queue
+				// discipline should make this unreachable) — give it back.
+				if effs, err := st.node.ReleaseCS(); err == nil {
+					ls.apply(id, st, effs)
+				}
+				continue
+			}
+			st.held = true
+			close(st.queue[0].granted)
+		}
+	}
+}
+
+// armTimer schedules a timer fire. Like cluster.Node, timers are not
+// tracked individually: fires after Close are swallowed by the stop
+// select, and outdated generations are discarded at delivery.
+func (ls *Lockspace) armTimer(id uint64, e core.StartTimer) {
+	if ls.closed.Load() {
+		return
+	}
+	time.AfterFunc(e.Delay, func() {
+		select {
+		case ls.timerC <- ltimer{inst: id, kind: e.Kind, gen: e.Gen}:
+		case <-ls.stop:
+		}
+	})
+}
+
+// flush sends this iteration's outbox, one batch per touched
+// destination, in touch order. Transport errors are equivalent to
+// message loss, which the per-instance failure machinery tolerates.
+func (ls *Lockspace) flush() {
+	if len(ls.dests) == 0 {
+		return
+	}
+	for _, to := range ls.dests {
+		batch := ls.outbox[to]
+		if len(batch) > 0 {
+			_ = ls.cfg.Transport.SendBatch(to, batch)
+			ls.outbox[to] = batch[:0] // transport copied it; reuse the buffer
+		}
+	}
+	ls.dests = ls.dests[:0]
+}

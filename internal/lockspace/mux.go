@@ -1,0 +1,425 @@
+package lockspace
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file is the simulated half of the lockspace: a Space runs K
+// independent open-cube mutex instances over ONE typed-event engine by
+// installing a multiplexing peer (muxPeer) at every position. Instance
+// state machines are lazily instantiated on first touch — an untouched
+// (position, instance) pair is exactly a pristine core.Node, because a
+// node's view of instance k only ever changes by processing instance-k
+// traffic — and all their timers share the node's single engine timer
+// slot through the private timerWheel. Grants never reach the Network:
+// the mux settles critical-section occupancy per instance (the Network's
+// per-node accounting would miscount two different locks held at one
+// position as a violation) and schedules releases on its own wheel.
+
+// muxTimerKind is the engine-facing timer slot the wheel multiplexes
+// every instance deadline onto; the specific kind value is arbitrary
+// because the mux peer owns the whole per-node slot space.
+const muxTimerKind = core.TimerSuspicion
+
+// SpaceConfig describes a simulated lockspace.
+type SpaceConfig struct {
+	// P is the cube order; each instance runs on 2^P positions.
+	P int
+	// Instances is the number of lock instances K (dense ids 0..K-1).
+	Instances int
+	// Node is the per-instance node template (Self and P are filled in
+	// per position); leave Policy nil for the open-cube policy.
+	Node core.Config
+	// Delay models message transmission; nil means FixedDelay(1ms).
+	Delay sim.DelayFn
+	// Seed seeds the run (delay draws and CS durations).
+	Seed int64
+	// CSTime is the simulated critical-section duration per grant; nil
+	// means release immediately.
+	CSTime func(rng *rand.Rand) time.Duration
+	// Recorder, when set, tallies every sent envelope.
+	Recorder *trace.Recorder
+	// Logf, when set, receives a line per simulator action (debugging).
+	Logf func(format string, args ...any)
+}
+
+// Space is a simulated keyed lock-space: K instances multiplexed over a
+// 2^P-position network on one event heap. All methods are
+// single-threaded, like the engine they drive.
+type Space struct {
+	cfg   SpaceConfig
+	w     *sim.Network
+	peers []*muxPeer
+	rng   *rand.Rand // CS-duration stream, separate from the delay stream
+
+	occupancy   []int32 // live CS holders per instance (violation accounting)
+	grants      int64
+	violations  int64
+	regens      int64
+	staleTokens int64
+	states      int // (position, instance) machines actually instantiated
+
+	onGrant func(inst int, x ocube.Pos)
+}
+
+// NewSpace builds the space with every instance in its pristine initial
+// state (token of every instance at position 0) and no state machines
+// instantiated yet.
+func NewSpace(cfg SpaceConfig) (*Space, error) {
+	if cfg.Instances < 1 {
+		return nil, fmt.Errorf("lockspace: Instances=%d out of range", cfg.Instances)
+	}
+	// Validate the node template once, up front: lazy instantiation must
+	// never fail mid-run.
+	probe := cfg.Node
+	probe.Self, probe.P = 0, cfg.P
+	if _, err := core.NewNode(probe); err != nil {
+		return nil, fmt.Errorf("lockspace: node template: %w", err)
+	}
+	sp := &Space{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		occupancy: make([]int32, cfg.Instances),
+	}
+	algo := sim.Algorithm{
+		Name: "lockspace",
+		New: func(n int) ([]sim.Peer, error) {
+			sp.peers = make([]*muxPeer, n)
+			out := make([]sim.Peer, n)
+			for i := range out {
+				p := &muxPeer{sp: sp, self: ocube.Pos(i), slots: make([]muxSlot, cfg.Instances)}
+				sp.peers[i] = p
+				out[i] = p
+			}
+			return out, nil
+		},
+	}
+	w, err := sim.New(sim.Config{
+		P:         cfg.P,
+		Algorithm: algo,
+		Delay:     cfg.Delay,
+		Seed:      cfg.Seed,
+		Recorder:  cfg.Recorder,
+		Logf:      cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp.w = w
+	return sp, nil
+}
+
+// Network exposes the underlying simulated network (failure injection,
+// loss counters, virtual clock).
+func (sp *Space) Network() *sim.Network { return sp.w }
+
+// Request schedules node x's wish to lock instance inst after delay d.
+func (sp *Space) Request(inst int, x ocube.Pos, d time.Duration) {
+	if inst < 0 || inst >= sp.cfg.Instances {
+		panic(fmt.Sprintf("lockspace: instance %d out of range", inst))
+	}
+	sp.w.RequestInstanceCS(x, uint64(inst)+1, d)
+}
+
+// Run steps the simulation until no protocol activity remains or virtual
+// time passes maxTime; it reports whether quiescence was reached.
+func (sp *Space) Run(maxTime time.Duration) bool { return sp.w.RunUntilQuiescent(maxTime) }
+
+// OnGrant registers a callback invoked at every critical-section entry
+// of any instance. Set it before running.
+func (sp *Space) OnGrant(fn func(inst int, x ocube.Pos)) { sp.onGrant = fn }
+
+// Grants returns the critical sections served across all instances.
+func (sp *Space) Grants() int64 { return sp.grants }
+
+// Violations returns how many grants overlapped another critical section
+// OF THE SAME instance — distinct instances are independent locks and
+// may overlap freely.
+func (sp *Space) Violations() int64 { return sp.violations }
+
+// Regenerations returns the token regenerations across all instances.
+func (sp *Space) Regenerations() int64 { return sp.regens }
+
+// StaleTokens returns the stale-epoch token sightings across instances.
+func (sp *Space) StaleTokens() int64 { return sp.staleTokens }
+
+// States returns how many (position, instance) state machines were
+// actually instantiated — the lazy-instantiation footprint, versus the
+// 2^P × K worst case.
+func (sp *Space) States() int { return sp.states }
+
+// noteGrant is the space-level counterpart of the Network's enterCS:
+// per-instance occupancy, violation accounting and release scheduling.
+func (sp *Space) noteGrant(p *muxPeer, inst uint64) {
+	sp.grants++
+	idx := int(inst) - 1
+	sp.occupancy[idx]++
+	if sp.occupancy[idx] > 1 {
+		sp.violations++
+	}
+	if sp.onGrant != nil {
+		sp.onGrant(idx, p.self)
+	}
+	var dur time.Duration
+	if sp.cfg.CSTime != nil {
+		dur = sp.cfg.CSTime(sp.rng)
+	}
+	p.wheel.schedule(inst, wheelRelease, 0, sp.w.Eng.Now()+dur)
+}
+
+// muxSlot is one lazily instantiated instance at one position.
+type muxSlot struct {
+	node *core.Node
+	busy bool // cached Busy, folded into the peer's busyN
+}
+
+// muxPeer multiplexes every instance hosted at one position behind the
+// sim.Peer seam. It implements the InstancePeer, TimerPeer, FailingPeer
+// and RecoveringPeer capabilities; grants are swallowed (see noteGrant)
+// and sends re-emitted as instance-tagged envelopes.
+type muxPeer struct {
+	sp    *Space
+	self  ocube.Pos
+	slots []muxSlot // dense by instance — iteration order is the id order
+	wheel timerWheel
+	em    core.Emitter
+
+	gen     uint64 // engine-facing timer generation
+	armed   bool
+	armedAt time.Duration
+	busyN   int
+}
+
+// ensure returns the instance's state machine, instantiating it
+// pristine on first touch.
+func (p *muxPeer) ensure(inst uint64) *core.Node {
+	s := &p.slots[int(inst)-1]
+	if s.node == nil {
+		cfg := p.sp.cfg.Node
+		cfg.Self, cfg.P = p.self, p.sp.cfg.P
+		node, err := core.NewNode(cfg)
+		if err != nil {
+			// The template was validated by NewSpace; this is unreachable.
+			panic(fmt.Sprintf("lockspace: instantiate %v/%d: %v", p.self, inst, err))
+		}
+		s.node = node
+		p.sp.states++
+	}
+	return s.node
+}
+
+// touch refreshes the instance's cached busy bit.
+func (p *muxPeer) touch(inst uint64) {
+	s := &p.slots[int(inst)-1]
+	b := s.node != nil && s.node.Busy()
+	if b != s.busy {
+		s.busy = b
+		if b {
+			p.busyN++
+		} else {
+			p.busyN--
+		}
+	}
+}
+
+// translate re-emits an instance's effects in mux form: sends become
+// tagged envelopes, timers go to the wheel, grants are settled at the
+// space, counters are folded. The inner effect slice expires at the next
+// call into the same instance, so translation copies everything it keeps.
+func (p *muxPeer) translate(inst uint64, effs []core.Effect) {
+	for _, e := range effs {
+		switch e := e.(type) {
+		case *core.Send:
+			p.em.SendEnvelope(core.Envelope{Instance: inst, Msg: e.Msg})
+		case *core.StartTimer:
+			p.wheel.schedule(inst, e.Kind, e.Gen, p.sp.w.Eng.Now()+e.Delay)
+		case *core.Grant:
+			p.sp.noteGrant(p, inst)
+		case *core.TokenRegenerated:
+			p.sp.regens++
+		case *core.StaleToken:
+			p.sp.staleTokens++
+		}
+	}
+}
+
+// rearm keeps the single engine timer aimed at the wheel's earliest
+// deadline. A stale engine fire (wheel emptied or deadline moved later)
+// is a cheap no-op at dispatch, so rearm only ever tightens.
+func (p *muxPeer) rearm() {
+	at, ok := p.wheel.earliest()
+	if !ok {
+		return
+	}
+	if p.armed && p.armedAt <= at {
+		return
+	}
+	p.gen++
+	p.armed, p.armedAt = true, at
+	p.em.StartTimer(muxTimerKind, p.gen, at-p.sp.w.Eng.Now())
+}
+
+// release ends an instance's simulated critical section (wheel-driven,
+// the analogue of the Network's evRelease).
+func (p *muxPeer) release(inst uint64) {
+	node := p.slots[int(inst)-1].node
+	if node == nil {
+		return
+	}
+	effs, err := node.ReleaseCS()
+	if err != nil {
+		// The instance is no longer in the CS this release was scheduled
+		// for; nothing to settle (crash settlement ran in Failed, which
+		// also cleared the wheel — reaching this is defensive).
+		return
+	}
+	idx := int(inst) - 1
+	if p.sp.occupancy[idx] > 0 {
+		p.sp.occupancy[idx]--
+	}
+	p.translate(inst, effs)
+	p.touch(inst)
+}
+
+// --- sim.Peer ---
+
+// RequestCS rejects untagged requests: every lockspace wish names an
+// instance.
+func (p *muxPeer) RequestCS() ([]core.Effect, error) {
+	return nil, fmt.Errorf("lockspace: untagged RequestCS on mux peer %v", p.self)
+}
+
+// ReleaseCS rejects untagged releases; the wheel drives releases.
+func (p *muxPeer) ReleaseCS() ([]core.Effect, error) {
+	return nil, fmt.Errorf("lockspace: untagged ReleaseCS on mux peer %v", p.self)
+}
+
+// HandleMessage rejects untagged traffic (the Network routes tagged
+// envelopes to HandleEnvelope).
+func (p *muxPeer) HandleMessage(m core.Message) []core.Effect {
+	panic(fmt.Sprintf("lockspace: untagged message at mux peer %v: %v", p.self, m))
+}
+
+// Busy reports whether any hosted instance has protocol activity.
+func (p *muxPeer) Busy() bool { return p.busyN > 0 }
+
+// --- sim.InstancePeer ---
+
+// HandleEnvelope delivers one instance's protocol message.
+func (p *muxPeer) HandleEnvelope(env core.Envelope) []core.Effect {
+	p.em.Begin()
+	if env.Instance == core.NoInstance || int(env.Instance) > len(p.slots) {
+		panic(fmt.Sprintf("lockspace: envelope instance %d out of range at %v", env.Instance, p.self))
+	}
+	node := p.ensure(env.Instance)
+	p.translate(env.Instance, node.HandleMessage(env.Msg))
+	p.touch(env.Instance)
+	p.rearm()
+	return p.em.Take()
+}
+
+// RequestInstanceCS registers the local wish to lock an instance.
+func (p *muxPeer) RequestInstanceCS(inst uint64) ([]core.Effect, error) {
+	p.em.Begin()
+	if inst == core.NoInstance || int(inst) > len(p.slots) {
+		return nil, fmt.Errorf("lockspace: instance %d out of range at %v", inst, p.self)
+	}
+	node := p.ensure(inst)
+	effs, err := node.RequestCS()
+	if err != nil {
+		return nil, err
+	}
+	p.translate(inst, effs)
+	p.touch(inst)
+	p.rearm()
+	return p.em.Take(), nil
+}
+
+// --- sim.TimerPeer ---
+
+// HandleTimer services the wheel: every due instance deadline fires, in
+// (deadline, schedule-order) sequence, then the engine timer is re-aimed
+// at the next one.
+func (p *muxPeer) HandleTimer(_ core.TimerKind, gen uint64) []core.Effect {
+	p.em.Begin()
+	p.armed = false
+	if gen != p.gen {
+		return nil
+	}
+	now := p.sp.w.Eng.Now()
+	for {
+		ent, ok := p.wheel.popDue(now)
+		if !ok {
+			break
+		}
+		if ent.kind == wheelRelease {
+			p.release(ent.inst)
+			continue
+		}
+		node := p.slots[int(ent.inst)-1].node
+		if node == nil || node.TimerGen(ent.kind) != ent.gen {
+			continue // dead: cancelled or superseded since it was scheduled
+		}
+		p.translate(ent.inst, node.HandleTimer(ent.kind, ent.gen))
+		p.touch(ent.inst)
+	}
+	p.rearm()
+	return p.em.Take()
+}
+
+// TimerGen returns the engine-facing timer generation.
+func (p *muxPeer) TimerGen(core.TimerKind) uint64 { return p.gen }
+
+// --- sim.FailingPeer / sim.RecoveringPeer ---
+
+// Failed settles the crash instant: instances in their critical section
+// release their occupancy (their grant died with the node), every local
+// deadline is void, and the busy cache is zeroed (a down node never
+// reports busy).
+func (p *muxPeer) Failed() {
+	for i := range p.slots {
+		s := &p.slots[i]
+		if s.node != nil && s.node.InCS() {
+			if p.sp.occupancy[i] > 0 {
+				p.sp.occupancy[i]--
+			}
+		}
+		s.busy = false
+	}
+	p.busyN = 0
+	p.wheel.clear()
+	p.armed = false
+}
+
+// Recover restarts every instantiated instance through its Section 5
+// rejoin, in instance order (deterministic replay requires a fixed
+// iteration order — the dense slot slice provides it).
+func (p *muxPeer) Recover() []core.Effect {
+	p.em.Begin()
+	for i := range p.slots {
+		node := p.slots[i].node
+		if node == nil {
+			continue
+		}
+		inst := uint64(i) + 1
+		p.translate(inst, node.Recover())
+		p.touch(inst)
+	}
+	p.rearm()
+	return p.em.Take()
+}
+
+// Interface compliance.
+var (
+	_ sim.InstancePeer   = (*muxPeer)(nil)
+	_ sim.TimerPeer      = (*muxPeer)(nil)
+	_ sim.FailingPeer    = (*muxPeer)(nil)
+	_ sim.RecoveringPeer = (*muxPeer)(nil)
+)

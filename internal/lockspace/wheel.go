@@ -1,0 +1,146 @@
+package lockspace
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// wheelRelease is the pseudo timer kind of a driver-scheduled critical
+// section release. Protocol timers use the core.TimerKind values 1..5;
+// kind 0 is free.
+const wheelRelease core.TimerKind = 0
+
+// wheelEntry is one pending instance deadline.
+type wheelEntry struct {
+	at   time.Duration
+	seq  uint64 // FIFO tie-break, so equal deadlines fire in schedule order
+	inst uint64 // envelope-tagged instance id (1-based)
+	kind core.TimerKind
+	gen  uint64 // arming generation of the instance's own timer (protocol kinds)
+}
+
+// timerWheel multiplexes the timers of every instance hosted at one
+// position onto a single engine timer slot: the simulator's per-(node,
+// kind) slot table cannot grow with thousands of instances, so the mux
+// peer keeps this private deadline heap and arms one engine timer for
+// the earliest entry. Like the engine's own slot table, re-arming an
+// (instance, kind) pair reschedules its existing entry in place — FT
+// runs re-arm suspicion timers on nearly every message, and corpses
+// would otherwise dominate the heap. Everything is deterministic:
+// binary-heap order on (at, seq), no map iteration (the slot map is
+// only ever indexed, never ranged over).
+type timerWheel struct {
+	ents []wheelEntry
+	slot map[uint64]int // slotKey(inst, kind) → heap index
+	seq  uint64
+}
+
+// slotKey packs (inst, kind) into one map key; kinds fit three bits.
+func slotKey(inst uint64, kind core.TimerKind) uint64 {
+	return inst<<3 | uint64(kind)
+}
+
+// schedule arms (or in-place reschedules) the entry for (inst, kind).
+func (w *timerWheel) schedule(inst uint64, kind core.TimerKind, gen uint64, at time.Duration) {
+	if w.slot == nil {
+		w.slot = make(map[uint64]int)
+	}
+	w.seq++
+	ent := wheelEntry{at: at, seq: w.seq, inst: inst, kind: kind, gen: gen}
+	key := slotKey(inst, kind)
+	if i, ok := w.slot[key]; ok {
+		old := w.ents[i]
+		w.ents[i] = ent
+		if ent.at < old.at || (ent.at == old.at && ent.seq < old.seq) {
+			w.siftUp(i)
+		} else {
+			w.siftDown(i)
+		}
+		return
+	}
+	w.ents = append(w.ents, ent)
+	w.slot[key] = len(w.ents) - 1
+	w.siftUp(len(w.ents) - 1)
+}
+
+// earliest returns the next deadline.
+func (w *timerWheel) earliest() (time.Duration, bool) {
+	if len(w.ents) == 0 {
+		return 0, false
+	}
+	return w.ents[0].at, true
+}
+
+// popDue removes and returns the earliest entry if it is due at now.
+func (w *timerWheel) popDue(now time.Duration) (wheelEntry, bool) {
+	if len(w.ents) == 0 || w.ents[0].at > now {
+		return wheelEntry{}, false
+	}
+	ent := w.ents[0]
+	delete(w.slot, slotKey(ent.inst, ent.kind))
+	last := len(w.ents) - 1
+	moved := w.ents[last]
+	w.ents = w.ents[:last]
+	if last > 0 {
+		w.ents[0] = moved
+		w.slot[slotKey(moved.inst, moved.kind)] = 0
+		w.siftDown(0)
+	}
+	return ent, true
+}
+
+// clear drops every entry (node crash: all local deadlines are void),
+// keeping capacity.
+func (w *timerWheel) clear() {
+	w.ents = w.ents[:0]
+	for k := range w.slot {
+		delete(w.slot, k)
+	}
+}
+
+func (w *timerWheel) less(a, b *wheelEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (w *timerWheel) place(i int, ent wheelEntry) {
+	w.ents[i] = ent
+	w.slot[slotKey(ent.inst, ent.kind)] = i
+}
+
+func (w *timerWheel) siftUp(i int) {
+	ent := w.ents[i]
+	for i > 0 {
+		parent := (i - 1) >> 1
+		if !w.less(&ent, &w.ents[parent]) {
+			break
+		}
+		w.place(i, w.ents[parent])
+		i = parent
+	}
+	w.place(i, ent)
+}
+
+func (w *timerWheel) siftDown(i int) {
+	ent := w.ents[i]
+	n := len(w.ents)
+	for {
+		left := i<<1 + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && w.less(&w.ents[right], &w.ents[left]) {
+			min = right
+		}
+		if !w.less(&w.ents[min], &ent) {
+			break
+		}
+		w.place(i, w.ents[min])
+		i = min
+	}
+	w.place(i, ent)
+}

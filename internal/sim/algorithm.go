@@ -63,6 +63,31 @@ type TokenPeer interface {
 	TokenHere() bool
 }
 
+// InstancePeer is implemented by multiplexing peers that host many
+// protocol instances behind one position (the lockspace mux). Tagged
+// envelopes are routed to HandleEnvelope instead of HandleMessage, and
+// keyed critical-section wishes arrive through RequestInstanceCS.
+type InstancePeer interface {
+	Peer
+	// HandleEnvelope delivers one instance-tagged protocol message
+	// (env.Instance != core.NoInstance).
+	HandleEnvelope(env core.Envelope) []core.Effect
+	// RequestInstanceCS registers the local wish to enter instance inst's
+	// critical section (same overlap semantics as Peer.RequestCS).
+	RequestInstanceCS(inst uint64) ([]core.Effect, error)
+}
+
+// FailingPeer is implemented by peers that must observe the instant of
+// their own crash — the lockspace mux settles its per-instance
+// critical-section occupancy there, so an instance whose holder died is
+// not double-counted against a later grant elsewhere. Failed is
+// notification only: the peer is dead afterwards and emits no effects.
+type FailingPeer interface {
+	Peer
+	// Failed tells the peer its node just fail-stopped.
+	Failed()
+}
+
 // Algorithm names a mutual-exclusion algorithm and constructs its peers.
 // The zero value means the open-cube algorithm built from Config.Node.
 type Algorithm struct {

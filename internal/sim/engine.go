@@ -44,14 +44,22 @@ const (
 	// tests only — the simulation hot paths use the typed variants). The
 	// entry's ref indexes the callback arena.
 	evFunc eventKind = iota
-	// evDeliver hands a message to its destination; ref indexes the
-	// message arena.
+	// evDeliver hands an untagged message to its destination; ref indexes
+	// the message arena.
 	evDeliver
+	// evDeliverEnv hands an instance-tagged envelope to its destination's
+	// multiplexing peer; ref indexes the envelope arena. Untagged traffic
+	// never takes this path, so the single-instance hot loop copies bare
+	// messages exactly as before the lockspace existed.
+	evDeliverEnv
 	// evTimer fires a node timer; ref is the timer slot key encoding
 	// (node, kind), and the armed generation lives in slotGen[ref].
 	evTimer
 	// evRequest executes a scheduled Network.RequestCS; ref is the node.
 	evRequest
+	// evRequestInst executes a scheduled Network.RequestInstanceCS; ref
+	// indexes the instance-request arena.
+	evRequestInst
 	// evFail crashes node ref.
 	evFail
 	// evRecover restarts node ref.
@@ -106,11 +114,25 @@ type Engine struct {
 	slotGen []uint64
 	h       handler
 
-	// Payload arenas with free lists; entry ref indexes them.
-	msgs    []core.Message
-	msgFree []int32
-	fns     []func()
-	fnFree  []int32
+	// Payload arenas with free lists; entry ref indexes them. Untagged
+	// messages and instance-tagged envelopes keep separate arenas so the
+	// classic single-instance hot path pays nothing for the lockspace's
+	// wider payload.
+	msgs     []core.Message
+	msgFree  []int32
+	envs     []core.Envelope
+	envFree  []int32
+	ireqs    []instReq
+	ireqFree []int32
+	fns      []func()
+	fnFree   []int32
+}
+
+// instReq is the payload of a scheduled instance-tagged critical-section
+// request (Network.RequestInstanceCS).
+type instReq struct {
+	node ocube.Pos
+	inst uint64
 }
 
 // bind installs the typed-event dispatcher and allocates the timer slot
@@ -146,7 +168,7 @@ func (e *Engine) After(d time.Duration, fn func()) {
 	e.schedule(d, evFunc, ref)
 }
 
-// scheduleMsg schedules the delivery of m after d.
+// scheduleMsg schedules the delivery of the untagged message m after d.
 func (e *Engine) scheduleMsg(d time.Duration, m core.Message) {
 	var ref int32
 	if n := len(e.msgFree); n > 0 {
@@ -165,6 +187,48 @@ func (e *Engine) takeMsg(ref int32) core.Message {
 	m := e.msgs[ref]
 	e.msgFree = append(e.msgFree, ref)
 	return m
+}
+
+// scheduleEnv schedules the delivery of the tagged envelope env after d.
+func (e *Engine) scheduleEnv(d time.Duration, env core.Envelope) {
+	var ref int32
+	if n := len(e.envFree); n > 0 {
+		ref = e.envFree[n-1]
+		e.envFree = e.envFree[:n-1]
+		e.envs[ref] = env
+	} else {
+		e.envs = append(e.envs, env)
+		ref = int32(len(e.envs) - 1)
+	}
+	e.schedule(d, evDeliverEnv, ref)
+}
+
+// takeEnv claims the delivered envelope and recycles its arena slot.
+func (e *Engine) takeEnv(ref int32) core.Envelope {
+	env := e.envs[ref]
+	e.envFree = append(e.envFree, ref)
+	return env
+}
+
+// scheduleInstReq schedules an instance-tagged RequestCS after d.
+func (e *Engine) scheduleInstReq(d time.Duration, node ocube.Pos, inst uint64) {
+	var ref int32
+	if n := len(e.ireqFree); n > 0 {
+		ref = e.ireqFree[n-1]
+		e.ireqFree = e.ireqFree[:n-1]
+		e.ireqs[ref] = instReq{node: node, inst: inst}
+	} else {
+		e.ireqs = append(e.ireqs, instReq{node: node, inst: inst})
+		ref = int32(len(e.ireqs) - 1)
+	}
+	e.schedule(d, evRequestInst, ref)
+}
+
+// takeInstReq claims the scheduled request and recycles its arena slot.
+func (e *Engine) takeInstReq(ref int32) instReq {
+	r := e.ireqs[ref]
+	e.ireqFree = append(e.ireqFree, ref)
+	return r
 }
 
 // schedule stamps a new entry and pushes it. A zero-delay event joins

@@ -107,9 +107,11 @@ type Network struct {
 	cfg      Config
 	n        int
 	peers    []Peer
-	nodes    []*core.Node // peers[i] when it is an open-cube node, else nil
-	timers   []TimerPeer  // peers[i] when it arms timers, else nil
-	tokens   []TokenPeer  // peers[i] when it reports token possession, else nil
+	nodes    []*core.Node   // peers[i] when it is an open-cube node, else nil
+	timers   []TimerPeer    // peers[i] when it arms timers, else nil
+	tokens   []TokenPeer    // peers[i] when it reports token possession, else nil
+	insts    []InstancePeer // peers[i] when it multiplexes instances, else nil
+	fails    []FailingPeer  // peers[i] when it observes its own crash, else nil
 	recovers []RecoveringPeer
 	down     []bool
 	csAt     []bool // driver-side critical-section occupancy per node
@@ -130,6 +132,7 @@ type Network struct {
 	grants         int64
 	violations     int64 // simultaneous critical sections observed
 	regenerations  int64
+	staleTokens    int64 // stale-epoch token sightings (raced regenerations)
 	lostToFailed   int64 // messages dropped at failed destinations
 	lostInTransit  int64 // messages dropped by the delay model (Lost)
 	inCS           int
@@ -182,6 +185,22 @@ func New(cfg Config) (*Network, error) {
 		w.timers[i], _ = p.(TimerPeer)
 		w.tokens[i], _ = p.(TokenPeer)
 		w.recovers[i], _ = p.(RecoveringPeer)
+		// The multiplexing capabilities are rare (only the lockspace mux
+		// implements them); their tables are allocated on first sighting
+		// so the thousands of single-mutex networks the experiment
+		// sweeps build per run pay nothing.
+		if ip, ok := p.(InstancePeer); ok {
+			if w.insts == nil {
+				w.insts = make([]InstancePeer, n)
+			}
+			w.insts[i] = ip
+		}
+		if fp, ok := p.(FailingPeer); ok {
+			if w.fails == nil {
+				w.fails = make([]FailingPeer, n)
+			}
+			w.fails[i] = fp
+		}
 	}
 	w.Eng.bind(w, n*core.NumTimerKinds)
 	return w, nil
@@ -209,6 +228,12 @@ func (w *Network) Violations() int64 { return w.violations }
 
 // Regenerations returns the number of token regenerations.
 func (w *Network) Regenerations() int64 { return w.regenerations }
+
+// StaleTokens returns the number of stale-epoch token sightings: tokens
+// observed carrying an epoch below the observer's, proving the
+// corresponding regeneration raced a token that was still alive rather
+// than replacing a lost one (a lower bound — see core.StaleToken).
+func (w *Network) StaleTokens() int64 { return w.staleTokens }
 
 // LostInTransit returns the number of messages the delay model dropped.
 func (w *Network) LostInTransit() int64 { return w.lostInTransit }
@@ -241,6 +266,14 @@ func (w *Network) logf(format string, args ...any) {
 func (w *Network) RequestCS(x ocube.Pos, d time.Duration) {
 	w.pendingOps++
 	w.Eng.schedule(d, evRequest, int32(x))
+}
+
+// RequestInstanceCS schedules node x's wish to enter instance inst's
+// critical section after delay d — the keyed entry point of multiplexing
+// algorithms (the peer at x must implement InstancePeer).
+func (w *Network) RequestInstanceCS(x ocube.Pos, inst uint64, d time.Duration) {
+	w.pendingOps++
+	w.Eng.scheduleInstReq(d, x, inst)
 }
 
 // Fail crashes node x after delay d: it stops processing and every
@@ -281,6 +314,26 @@ func (w *Network) handle(ent heapEntry) {
 			return
 		}
 		w.apply(x, w.peers[x].HandleMessage(m))
+	case evDeliverEnv:
+		env := w.Eng.takeEnv(ent.ref)
+		x = env.Msg.To
+		w.inflight--
+		if env.Msg.Kind == core.KindToken {
+			w.inflightTokens--
+		}
+		if w.down[x] {
+			w.lostToFailed++
+			if w.logging {
+				w.logf("LOST at failed node: %v", env)
+			}
+			return
+		}
+		if w.insts == nil || w.insts[x] == nil {
+			// An instance-tagged envelope reached a single-instance peer:
+			// a multiplexer bug, not a runtime condition.
+			panic(fmt.Sprintf("sim: envelope for non-instance peer %v: %v", x, env))
+		}
+		w.apply(x, w.insts[x].HandleEnvelope(env))
 	case evTimer:
 		key := ent.ref
 		var kind core.TimerKind
@@ -313,6 +366,27 @@ func (w *Network) handle(ent heapEntry) {
 			w.logf("node %v requests CS", x)
 		}
 		w.apply(x, effs)
+	case evRequestInst:
+		w.pendingOps--
+		r := w.Eng.takeInstReq(ent.ref)
+		x = r.node
+		if w.down[x] {
+			return
+		}
+		if w.insts == nil || w.insts[x] == nil {
+			panic(fmt.Sprintf("sim: instance request for non-instance peer %v", x))
+		}
+		effs, err := w.insts[x].RequestInstanceCS(r.inst)
+		if err != nil {
+			if w.logging {
+				w.logf("node %v RequestInstanceCS(%d): %v", x, r.inst, err)
+			}
+			return
+		}
+		if w.logging {
+			w.logf("node %v requests CS of instance %d", x, r.inst)
+		}
+		w.apply(x, effs)
 	case evFail:
 		w.pendingOps--
 		x = ocube.Pos(ent.ref)
@@ -324,6 +398,12 @@ func (w *Network) handle(ent heapEntry) {
 			w.csAt[x] = false
 		}
 		w.down[x] = true
+		if w.fails != nil && w.fails[x] != nil {
+			// Let multiplexing peers settle their instance-level
+			// critical-section occupancy (the analogue of the csAt
+			// settlement above, per hosted instance).
+			w.fails[x].Failed()
+		}
 		if w.logging {
 			w.logf("node %v FAILS", x)
 		}
@@ -396,6 +476,8 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 		switch e := e.(type) {
 		case *core.Send:
 			w.deliver(e.Msg)
+		case *core.SendEnvelope:
+			w.deliverEnv(e.Env)
 		case *core.StartTimer:
 			w.Eng.scheduleTimer(timerKey(x, e.Kind), e.Gen, e.Delay)
 		case *core.Grant:
@@ -403,7 +485,12 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 		case *core.TokenRegenerated:
 			w.regenerations++
 			if w.logging {
-				w.logf("node %v regenerates token: %s", x, e.Reason)
+				w.logf("node %v regenerates token: %s (epoch %d)", x, e.Reason, e.Epoch)
+			}
+		case *core.StaleToken:
+			w.staleTokens++
+			if w.logging {
+				w.logf("node %v sights stale token (epoch %d < known %d): %v", x, e.Epoch, e.Known, e.Msg)
 			}
 		case *core.Dropped:
 			if w.logging {
@@ -425,10 +512,42 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 	}
 }
 
-// deliver schedules the transmission of m, or drops it when the delay
-// model declares it lost. Lost messages are still recorded as sent — the
-// sender paid for them — but never reach their destination.
+// deliver schedules the transmission of the untagged message m, and
+// deliverEnv of the tagged envelope env; either drops its payload when
+// the delay model declares it lost. Lost messages are still recorded as
+// sent — the sender paid for them — but never reach their destination.
+// The delay draw depends only on (time, from, to), so a multiplexed run
+// consumes the rng exactly like a single-instance run with the same
+// send sequence.
 func (w *Network) deliver(m Message) {
+	d, ok := w.transmit(m)
+	if !ok {
+		return
+	}
+	if w.logging {
+		w.logf("send %v (delay %v)", m, d)
+	}
+	w.Eng.scheduleMsg(d, m)
+}
+
+func (w *Network) deliverEnv(env core.Envelope) {
+	if env.Instance == core.NoInstance {
+		w.deliver(env.Msg)
+		return
+	}
+	d, ok := w.transmit(env.Msg)
+	if !ok {
+		return
+	}
+	if w.logging {
+		w.logf("send %v (delay %v)", env, d)
+	}
+	w.Eng.scheduleEnv(d, env)
+}
+
+// transmit draws the delay for one outbound message and does the shared
+// accounting; ok is false when the message was lost in transit.
+func (w *Network) transmit(m Message) (d time.Duration, ok bool) {
 	if !m.To.Valid(w.n) {
 		// A state machine addressed a nonexistent node (e.g. a request
 		// sent to a nil father). Fail loudly with the message instead of
@@ -436,23 +555,20 @@ func (w *Network) deliver(m Message) {
 		// protocol invariants, not to paper over them.
 		panic(fmt.Sprintf("sim: %v sends to invalid destination: %v", m.From, m))
 	}
-	d := w.cfg.Delay(w.rng, w.Eng.Now(), m.From, m.To)
+	d = w.cfg.Delay(w.rng, w.Eng.Now(), m.From, m.To)
 	w.record(m)
 	if d == Lost {
 		w.lostInTransit++
 		if w.logging {
 			w.logf("LOST in transit: %v", m)
 		}
-		return
+		return 0, false
 	}
 	w.inflight++
 	if m.Kind == core.KindToken {
 		w.inflightTokens++
 	}
-	if w.logging {
-		w.logf("send %v (delay %v)", m, d)
-	}
-	w.Eng.scheduleMsg(d, m)
+	return d, true
 }
 
 // Message is re-exported for DelayFn implementors' convenience.

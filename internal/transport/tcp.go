@@ -10,17 +10,19 @@ import (
 	"repro/internal/ocube"
 )
 
-// TCP is a Transport over TCP sockets with gob-encoded frames. Each node
-// listens on its own address and dials peers lazily; outbound connections
-// are cached and serialized per peer. Suitable for the multi-process
-// example; production hardening (TLS, reconnection backoff) is out of
+// tcpLink is the generic TCP machinery shared by the single-message
+// transport (TCP) and the envelope-batch transport (EnvTCP): each node
+// listens on its own address and dials peers lazily; outbound
+// connections are cached and serialized per peer; inbound frames of type
+// F are gob-decoded into the inbox. Suitable for the multi-process
+// examples; production hardening (TLS, reconnection backoff) is out of
 // scope for the reproduction.
-type TCP struct {
+type tcpLink[F any] struct {
 	self  ocube.Pos
 	addrs map[ocube.Pos]string
 
 	listener net.Listener
-	inbox    chan core.Message
+	inbox    chan F
 
 	mu       sync.Mutex
 	conns    map[ocube.Pos]*peerConn
@@ -35,8 +37,8 @@ type peerConn struct {
 	enc  *gob.Encoder
 }
 
-// NewTCP starts a TCP transport for self, listening on addrs[self].
-func NewTCP(self ocube.Pos, addrs map[ocube.Pos]string) (*TCP, error) {
+// newTCPLink starts the listener and accept loop for self.
+func newTCPLink[F any](self ocube.Pos, addrs map[ocube.Pos]string) (*tcpLink[F], error) {
 	addr, ok := addrs[self]
 	if !ok {
 		return nil, fmt.Errorf("transport: no address for self %v", self)
@@ -45,11 +47,11 @@ func NewTCP(self ocube.Pos, addrs map[ocube.Pos]string) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{
+	t := &tcpLink[F]{
 		self:     self,
 		addrs:    make(map[ocube.Pos]string, len(addrs)),
 		listener: ln,
-		inbox:    make(chan core.Message, 1024),
+		inbox:    make(chan F, 1024),
 		conns:    make(map[ocube.Pos]*peerConn),
 		accepted: make(map[net.Conn]bool),
 	}
@@ -62,9 +64,9 @@ func NewTCP(self ocube.Pos, addrs map[ocube.Pos]string) (*TCP, error) {
 }
 
 // Addr returns the bound listen address (useful with ":0" ports).
-func (t *TCP) Addr() string { return t.listener.Addr().String() }
+func (t *tcpLink[F]) Addr() string { return t.listener.Addr().String() }
 
-func (t *TCP) acceptLoop() {
+func (t *tcpLink[F]) acceptLoop() {
 	defer t.wg.Done()
 	for {
 		conn, err := t.listener.Accept()
@@ -84,7 +86,7 @@ func (t *TCP) acceptLoop() {
 	}
 }
 
-func (t *TCP) readLoop(conn net.Conn) {
+func (t *tcpLink[F]) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer func() {
 		conn.Close()
@@ -94,8 +96,8 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	for {
-		var m core.Message
-		if err := dec.Decode(&m); err != nil {
+		var f F
+		if err := dec.Decode(&f); err != nil {
 			return
 		}
 		t.mu.Lock()
@@ -105,7 +107,7 @@ func (t *TCP) readLoop(conn net.Conn) {
 			return
 		}
 		select {
-		case t.inbox <- m:
+		case t.inbox <- f:
 		default:
 			// Inbox overflow: drop. The failure machinery treats a lost
 			// message like a transient fault and recovers.
@@ -113,50 +115,47 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Transport.
-func (t *TCP) Send(m core.Message) error {
+// send gob-encodes one frame to the peer, dialing lazily.
+func (t *tcpLink[F]) send(to ocube.Pos, frame F) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	pc := t.conns[m.To]
+	pc := t.conns[to]
 	if pc == nil {
-		addr, ok := t.addrs[m.To]
+		addr, ok := t.addrs[to]
 		if !ok {
 			t.mu.Unlock()
-			return fmt.Errorf("transport: no address for %v", m.To)
+			return fmt.Errorf("transport: no address for %v", to)
 		}
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			t.mu.Unlock()
-			return fmt.Errorf("transport: dial %v: %w", m.To, err)
+			return fmt.Errorf("transport: dial %v: %w", to, err)
 		}
 		pc = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
-		t.conns[m.To] = pc
+		t.conns[to] = pc
 	}
 	t.mu.Unlock()
 
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	if err := pc.enc.Encode(m); err != nil {
-		// Drop the broken connection; the next Send re-dials.
+	if err := pc.enc.Encode(frame); err != nil {
+		// Drop the broken connection; the next send re-dials.
 		t.mu.Lock()
-		if t.conns[m.To] == pc {
-			delete(t.conns, m.To)
+		if t.conns[to] == pc {
+			delete(t.conns, to)
 		}
 		t.mu.Unlock()
 		pc.conn.Close()
-		return fmt.Errorf("transport: send to %v: %w", m.To, err)
+		return fmt.Errorf("transport: send to %v: %w", to, err)
 	}
 	return nil
 }
 
-// Recv implements Transport.
-func (t *TCP) Recv() <-chan core.Message { return t.inbox }
-
-// Close implements Transport.
-func (t *TCP) Close() error {
+// close shuts the listener, every connection, and the inbox.
+func (t *tcpLink[F]) close() error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -183,4 +182,69 @@ func (t *TCP) Close() error {
 	return err
 }
 
+// TCP is a Transport over TCP sockets with one gob-encoded message per
+// frame (examples/tcpcluster).
+type TCP struct {
+	link *tcpLink[core.Message]
+}
+
+// NewTCP starts a TCP transport for self, listening on addrs[self].
+func NewTCP(self ocube.Pos, addrs map[ocube.Pos]string) (*TCP, error) {
+	link, err := newTCPLink[core.Message](self, addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &TCP{link: link}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (t *TCP) Addr() string { return t.link.Addr() }
+
+// Send implements Transport.
+func (t *TCP) Send(m core.Message) error { return t.link.send(m.To, m) }
+
+// Recv implements Transport.
+func (t *TCP) Recv() <-chan core.Message { return t.link.inbox }
+
+// Close implements Transport.
+func (t *TCP) Close() error { return t.link.close() }
+
 var _ Transport = (*TCP)(nil)
+
+// EnvTCP is a BatchTransport over TCP sockets with one gob-encoded
+// envelope batch per frame — the multi-process wire of a lockspace. All
+// instances share one connection mesh: the per-peer connection carries
+// every instance's traffic, batched per destination by the sender.
+type EnvTCP struct {
+	link *tcpLink[[]core.Envelope]
+}
+
+// NewEnvTCP starts an envelope-batch transport for self, listening on
+// addrs[self].
+func NewEnvTCP(self ocube.Pos, addrs map[ocube.Pos]string) (*EnvTCP, error) {
+	link, err := newTCPLink[[]core.Envelope](self, addrs)
+	if err != nil {
+		return nil, err
+	}
+	return &EnvTCP{link: link}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (t *EnvTCP) Addr() string { return t.link.Addr() }
+
+// SendBatch implements BatchTransport. The batch is encoded before
+// returning, so the caller may reuse its buffer.
+func (t *EnvTCP) SendBatch(to ocube.Pos, batch []core.Envelope) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	return t.link.send(to, batch)
+}
+
+// RecvBatch implements BatchTransport.
+func (t *EnvTCP) RecvBatch() <-chan []core.Envelope { return t.link.inbox }
+
+// Close implements BatchTransport.
+func (t *EnvTCP) Close() error { return t.link.close() }
+
+var _ BatchTransport = (*EnvTCP)(nil)

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestZipfConstruction(t *testing.T) {
+	cases := []struct {
+		name    string
+		k       int
+		s       float64
+		wantErr bool
+	}{
+		{"single key", 1, 1.1, false},
+		{"uniform exponent", 64, 0, false},
+		{"classic skew", 1024, 1.0, false},
+		{"heavy skew", 4096, 1.5, false},
+		{"zero keys", 0, 1, true},
+		{"negative keys", -3, 1, true},
+		{"negative exponent", 8, -0.5, true},
+		{"nan exponent", 8, math.NaN(), true},
+		{"inf exponent", 8, math.Inf(1), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z, err := NewZipf(tc.k, tc.s)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewZipf(%d, %v) error = %v, wantErr %v", tc.k, tc.s, err, tc.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if z.K() != tc.k {
+				t.Errorf("K() = %d, want %d", z.K(), tc.k)
+			}
+			// Every alias column must be fully specified: a probability in
+			// [0,1] and an in-range alias.
+			for i := range z.prob {
+				if z.prob[i] < 0 || z.prob[i] > 1+1e-9 {
+					t.Errorf("prob[%d] = %v out of [0,1]", i, z.prob[i])
+				}
+				if z.alias[i] < 0 || z.alias[i] >= tc.k {
+					t.Errorf("alias[%d] = %d out of range", i, z.alias[i])
+				}
+			}
+		})
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		s    float64
+	}{
+		{"s=0 uniform", 16, 0},
+		{"s=1", 16, 1},
+		{"s=1.2", 64, 1.2},
+	}
+	const samples = 200000
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z, err := NewZipf(tc.k, tc.s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int, tc.k)
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < samples; i++ {
+				counts[z.Sample(rng)]++
+			}
+			// Compare empirical frequencies against the exact mass within a
+			// generous tolerance — 200k samples put the error well below 10%
+			// of any of these masses.
+			var total float64
+			mass := make([]float64, tc.k)
+			for r := range mass {
+				mass[r] = math.Pow(float64(r+1), -tc.s)
+				total += mass[r]
+			}
+			for r := 0; r < tc.k; r++ {
+				want := mass[r] / total
+				got := float64(counts[r]) / samples
+				if diff := math.Abs(got - want); diff > 0.1*want+0.002 {
+					t.Errorf("rank %d frequency = %.4f, want %.4f", r, got, want)
+				}
+			}
+			if tc.s > 0 && !(counts[0] > counts[tc.k-1]) {
+				t.Errorf("rank 0 (%d) not hotter than last rank (%d)", counts[0], counts[tc.k-1])
+			}
+		})
+	}
+}
+
+func TestZipfDeterministicPerSeed(t *testing.T) {
+	z, err := NewZipf(257, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]int, 64)
+		for i := range out {
+			out[i] = z.Sample(rng)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(draw(7), draw(7)) {
+		t.Error("same seed produced different sample sequences")
+	}
+	if reflect.DeepEqual(draw(7), draw(8)) {
+		t.Error("different seeds produced identical sample sequences (suspicious)")
+	}
+}
+
+func TestKeyedSchedules(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(rng *rand.Rand) []KeyedRequest
+		keys  int
+		count int
+	}{
+		{
+			name: "uniform",
+			build: func(rng *rand.Rand) []KeyedRequest {
+				return KeyedUniform(rng, 8, 32, 500, time.Second)
+			},
+			keys: 32, count: 500,
+		},
+		{
+			name: "zipf",
+			build: func(rng *rand.Rand) []KeyedRequest {
+				reqs, err := KeyedZipf(rng, 8, 32, 500, time.Second, 1.1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return reqs
+			},
+			keys: 32, count: 500,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := tc.build(rand.New(rand.NewSource(3)))
+			b := tc.build(rand.New(rand.NewSource(3)))
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("schedule not deterministic per seed")
+			}
+			if len(a) != tc.count {
+				t.Fatalf("len = %d, want %d", len(a), tc.count)
+			}
+			for i, r := range a {
+				if r.Node < 0 || r.Node >= 8 {
+					t.Fatalf("req %d node %d out of range", i, r.Node)
+				}
+				if r.Key < 0 || r.Key >= tc.keys {
+					t.Fatalf("req %d key %d out of range", i, r.Key)
+				}
+				if r.At < 0 || r.At > time.Second {
+					t.Fatalf("req %d instant %v out of horizon", i, r.At)
+				}
+				if i > 0 && a[i-1].At > r.At {
+					t.Fatalf("schedule not sorted at %d", i)
+				}
+			}
+		})
+	}
+	t.Run("degenerate count", func(t *testing.T) {
+		if got := KeyedUniform(rand.New(rand.NewSource(1)), 4, 4, -5, time.Second); len(got) != 0 {
+			t.Errorf("negative count yielded %d requests", len(got))
+		}
+	})
+	t.Run("zipf skew shows in schedule", func(t *testing.T) {
+		reqs, err := KeyedZipf(rand.New(rand.NewSource(5)), 8, 64, 4000, time.Second, 1.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int{}
+		for _, r := range reqs {
+			counts[r.Key]++
+		}
+		if !(counts[0] > counts[63]) {
+			t.Errorf("key 0 (%d) not hotter than key 63 (%d)", counts[0], counts[63])
+		}
+	})
+}

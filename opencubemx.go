@@ -2,11 +2,15 @@
 // on an open-cube logical tree, reproducing Hélary & Mostefaoui's
 // algorithm (INRIA RR-2041, 1993 / ICDCS 1994).
 //
-// The package offers two entry points:
+// The package offers three entry points:
 //
 //   - Cluster: an in-process live cluster (one goroutine per node) for
 //     applications that want a ready-to-use mutual exclusion service.
 //     See examples/quickstart and examples/bankledger.
+//   - LockspaceCluster: an in-process keyed lock service — every
+//     distinct key is its own independent open-cube mutex, with
+//     instances lazily instantiated and multiplexed over one runtime
+//     (Lock(ctx, key) / Unlock(key)). See examples/lockspace.
 //   - NewTCPNode: a single node communicating over TCP for multi-process
 //     deployments. See examples/tcpcluster.
 //
@@ -45,6 +49,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/lockspace"
 	"repro/internal/ocube"
 	"repro/internal/transport"
 )
@@ -166,6 +171,87 @@ func (m *Mutex) Lock(ctx context.Context) error { return m.node.Lock(ctx) }
 // Unlock releases the critical section, returning the token to its
 // lender or keeping it if this node became the tree root.
 func (m *Mutex) Unlock() error { return m.node.Unlock() }
+
+// LockspaceCluster is an in-process group of 2^p nodes sharing a keyed
+// lock-space: every distinct key names an independent open-cube mutex,
+// lazily instantiated on first touch and multiplexed with every other
+// key's instance over one shared runtime (one goroutine and one
+// transport endpoint per node, envelopes batched per destination). The
+// paper's per-critical-section message bound holds per key.
+type LockspaceCluster struct {
+	mesh  *transport.EnvMesh
+	nodes []*lockspace.Lockspace
+}
+
+// NewLockspaceCluster starts an n-node keyed lock service; n must be a
+// power of two. Position 0 holds every key's initial token.
+func NewLockspaceCluster(n int, opts ...Option) (*LockspaceCluster, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("opencubemx: cluster size %d is not a power of two", n)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	p := bits.TrailingZeros(uint(n))
+	mesh, err := transport.NewEnvMesh(n, 4096)
+	if err != nil {
+		return nil, err
+	}
+	c := &LockspaceCluster{mesh: mesh}
+	for i := 0; i < n; i++ {
+		cfg := o.node
+		cfg.Self = ocube.Pos(i)
+		cfg.P = p
+		node, err := lockspace.New(lockspace.Config{Node: cfg, Transport: mesh.Endpoint(ocube.Pos(i))})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *LockspaceCluster) N() int { return len(c.nodes) }
+
+// Lockspace returns node i's handle on the keyed lock service.
+func (c *LockspaceCluster) Lockspace(i int) (*Lockspace, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("opencubemx: node %d out of range [0,%d)", i, len(c.nodes))
+	}
+	return &Lockspace{node: c.nodes[i]}, nil
+}
+
+// Close stops every node and the transport fabric.
+func (c *LockspaceCluster) Close() error {
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.mesh.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Lockspace is one node's handle on the keyed lock service: a named
+// mutex per key, each as strong as the single Mutex. Clients on the same
+// node queue FIFO behind each other per key.
+type Lockspace struct {
+	node *lockspace.Lockspace
+}
+
+// Lock blocks until this node holds key's lock or ctx is done. On
+// cancellation after the request was issued, the eventual grant is
+// released immediately.
+func (l *Lockspace) Lock(ctx context.Context, key string) error { return l.node.Lock(ctx, key) }
+
+// Unlock releases this node's hold on key's lock.
+func (l *Lockspace) Unlock(key string) error { return l.node.Unlock(key) }
 
 // ErrBadMembership reports an invalid TCP membership table.
 var ErrBadMembership = errors.New("opencubemx: membership size is not a power of two")

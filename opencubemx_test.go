@@ -2,6 +2,7 @@ package opencubemx
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -217,5 +218,54 @@ func TestTCPClusterLive(t *testing.T) {
 	wg.Wait()
 	if counter != 12 {
 		t.Errorf("counter = %d, want 12", counter)
+	}
+}
+
+func TestLockspaceClusterLive(t *testing.T) {
+	if _, err := NewLockspaceCluster(3); err == nil {
+		t.Error("non-power-of-two lockspace cluster accepted")
+	}
+	c, err := NewLockspaceCluster(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Lockspace(4); err == nil {
+		t.Error("out-of-range lockspace handle accepted")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Every node increments two per-key counters; each counter is
+	// protected only by its own key's distributed mutex, so both totals
+	// must come out exact.
+	var counts [2]int
+	var wg sync.WaitGroup
+	for i := 0; i < c.N(); i++ {
+		ls, err := c.Lockspace(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				idx := (id + k) % 2
+				key := fmt.Sprintf("key-%d", idx)
+				if err := ls.Lock(ctx, key); err != nil {
+					t.Errorf("node %d: lock %s: %v", id, key, err)
+					return
+				}
+				counts[idx]++ // protected by key's distributed mutex
+				if err := ls.Unlock(key); err != nil {
+					t.Errorf("node %d: unlock %s: %v", id, key, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := counts[0] + counts[1]; got != 12 {
+		t.Errorf("total increments = %d, want 12", got)
 	}
 }
