@@ -185,6 +185,12 @@ func benchJSON(label string, seed int64) error {
 		{"e9_n16_k4096", "msgs/grant (4096-key zipf lockspace)", func() (int64, float64, error) {
 			return perGrant(harness.E9Throughput(4, 4096, "zipf", seed))
 		}},
+		// e10_n256 is new in PR 5: the smallest steady-state churn cell —
+		// continuous Poisson fail/recover concurrent with load, no
+		// episode boundaries — which the §7 storm fix made runnable.
+		{"e10_n256", "msgs/grant (steady churn)", func() (int64, float64, error) {
+			return perGrant(harness.E10Throughput(8, seed))
+		}},
 		// e8_n16: the fault-injection comparison's open-cube crash cell
 		// (grants recovered after the CS holder fail-stops), new in PR 3.
 		{"e8_n16", "grants after holder crash", func() (int64, float64, error) {

@@ -6,12 +6,18 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9] [-seed N] [-full] [-parallel N] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10] [-seed N] [-full] [-parallel N] [-strict] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps; for E7 it extends the large-P sweep to
-// its full P=8..12 range (N=4096), and for E9 it runs the lockspace at
-// N=256 with the instance sweep extended to 4096 keys.
+// its full P=8..12 range (N=4096), for E9 it runs the lockspace at
+// N=256 with the instance sweep extended to 4096 keys, and for E10 it
+// extends the steady-state churn sweep to N=4096.
+//
+// -strict turns liveness columns into hard gates: any non-zero stuck
+// count (E3, E7, E10), STALLED outcome (E9) or open-cube violation
+// under in-model scenarios exits non-zero. CI runs the smoke sweeps
+// with it.
 //
 // -parallel N distributes independent experiment cells over N workers
 // (0, the default, uses GOMAXPROCS; 1 forces the sequential sweep). The
@@ -34,10 +40,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
+	strict := flag.Bool("strict", false, "fail on any stuck episode, stalled cell or in-model violation")
 	jsonLabel := flag.String("json", "", "measure the perf suite and write BENCH_<label>.json")
 	flag.Parse()
 
@@ -103,6 +110,17 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatE3(rows))
+		if *strict {
+			for _, r := range rows {
+				if r.Stuck != 0 {
+					return fmt.Errorf("strict: e3 N=%d reported %d stuck episodes", r.N, r.Stuck)
+				}
+				if !r.PaperMode && r.Violations != 0 {
+					// Paper mode (single-sweep ablation) is known racy.
+					return fmt.Errorf("strict: e3 N=%d reported %d violations", r.N, r.Violations)
+				}
+			}
+		}
 		return nil
 	})
 
@@ -160,6 +178,13 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatE7(rows))
+		if *strict {
+			for _, r := range rows {
+				if r.Stuck != 0 || r.Violations != 0 {
+					return fmt.Errorf("strict: e7 N=%d stuck=%d violations=%d", r.N, r.Stuck, r.Violations)
+				}
+			}
+		}
 		return nil
 	})
 
@@ -186,6 +211,34 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatE9(rows))
+		if *strict {
+			for _, r := range rows {
+				if !r.Completed || r.Violations != 0 {
+					return fmt.Errorf("strict: e9 k=%d/%s completed=%v violations=%d",
+						r.Keys, r.Skew, r.Completed, r.Violations)
+				}
+			}
+		}
+		return nil
+	})
+
+	run("e10", func() error {
+		ps := []int{8, 9, 10}
+		if *full {
+			ps = append(ps, 11, 12)
+		}
+		rows, err := harness.E10SteadyChurn(ps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE10(rows))
+		if *strict {
+			for _, r := range rows {
+				if r.Stuck != 0 || r.Violations != 0 {
+					return fmt.Errorf("strict: e10 N=%d stuck=%d violations=%d", r.N, r.Stuck, r.Violations)
+				}
+			}
+		}
 		return nil
 	})
 }

@@ -13,24 +13,37 @@ import (
 // unless Config.FT is set.
 
 // searchState tracks one search_father procedure (Section 5). A phase d
-// tests every node at open-cube distance d; unanswered nodes are discarded
-// after a 2δ round, try-later answers are retested in the next round, and
-// a phase with every candidate discarded moves the search to phase d+1.
+// tests every node at open-cube distance d; unanswered nodes are
+// discarded after a 2δ round and try-later answers are retested in the
+// next round. Unlike the paper's sweep — which holds a phase open until
+// every candidate is discarded — a round in which no candidate left the
+// set advances to the next phase *carrying* the unresolved candidates
+// (each re-probed at its own distance): under a failure storm every
+// asker answers try-later, a frozen phase never drains, and two
+// searchers frozen at different distances never probe each other, so
+// the junior→senior election deadlocks and no one ever regenerates the
+// lost token (the DESIGN.md §7 storm). Carrying keeps the probes moving
+// outward while preserving the safety fence: the search is exhausted
+// only when every phase has been injected AND the carried set has
+// drained, so an unresolved candidate — the one that might yet become
+// (or already be) the root — blocks regeneration exactly as a frozen
+// phase did.
 //
 // The candidate sets are pooled slices whose capacity survives across
 // searches (clearSearch truncates, never frees): outstanding is kept
 // sorted ascending so membership is a binary search, and deferred
 // accumulates in answer-arrival order and is re-sorted before each
-// retest round, preserving the position-ordered probe sequence that
+// probe round, preserving the position-ordered probe sequence that
 // seeded replay depends on.
 type searchState struct {
 	active      bool
-	phase       int
+	phase       int         // highest distance whose candidates were injected
 	startPhase  int         // phase the search began at
 	sweeps      int         // completed failed full sweeps (from phase 1)
 	outstanding []ocube.Pos // probed this round, answer pending (sorted)
-	deferred    []ocube.Pos // answered try-later; probe again next round
-	remaining   int         // candidates not yet discarded this phase
+	deferred    []ocube.Pos // answered try-later/busy; probe again next round
+	absorbed    []ocube.Pos // wait on this node's own repair (sorted; see onTestReply)
+	progress    bool        // a candidate left the set since the round opened
 	tested      int         // total test messages sent this search
 	recovery    bool        // search started by Recover (no request to re-issue)
 }
@@ -38,10 +51,19 @@ type searchState struct {
 // clearSearch resets the search state, keeping the candidate slices'
 // capacity for the next search.
 func (s *searchState) clear() {
-	s.active, s.recovery = false, false
-	s.phase, s.startPhase, s.sweeps, s.remaining, s.tested = 0, 0, 0, 0, 0
+	s.active, s.recovery, s.progress = false, false, false
+	s.phase, s.startPhase, s.sweeps, s.tested = 0, 0, 0, 0
 	s.outstanding = s.outstanding[:0]
 	s.deferred = s.deferred[:0]
+	s.absorbed = s.absorbed[:0]
+}
+
+// absorb records that k's pending request transitively waits on this
+// node's own repair, keeping the set sorted for binary-search membership.
+func (s *searchState) absorb(k ocube.Pos) {
+	if i, ok := slices.BinarySearch(s.absorbed, k); !ok {
+		s.absorbed = slices.Insert(s.absorbed, i, k)
+	}
 }
 
 // searchPos returns the index of k in the sorted slice s, or -1.
@@ -228,25 +250,35 @@ func (n *Node) onTransferTimeout() {
 		return
 	}
 	n.xferPending = false
+	if n.xferSource != ocube.None {
+		if tr := n.track.lookup(n.xferSource); tr != nil && tr.hasGrant && tr.grantSeq == n.xferSeq {
+			// The transfer was never acknowledged, so the source cannot
+			// be assumed granted: let its re-issued request through. The
+			// rollback must happen on EVERY resolution of the watchdog —
+			// including the keep-state branch below — or a source whose
+			// token died with a transient crash is starved forever by
+			// this node's stale grant record ("request already granted")
+			// while it re-issues a perfectly live request. If the source
+			// actually was served (only the acknowledgment was lost), the
+			// rollback merely re-opens service for a request nobody
+			// re-issues; stray duplicates die in the obsolete machinery.
+			tr.hasGrant = false
+		}
+	}
 	if n.inCS || n.tokenHere {
 		// The node meanwhile holds a token again. Under the paper's model
 		// this state is unreachable (a live recipient acknowledges within
 		// the watchdog window, and a dead one means the only token is
-		// gone), so reaching it proves a channel dropped the
-		// acknowledgment — not the token. Reclaiming the root here would
-		// clobber the father pointer and the in-progress critical
-		// section's lender bookkeeping, leaving the node rootless and
-		// tokenless after its release; keep the current state instead and
-		// leave a genuinely dead transfer to the suspicion machinery of
-		// the nodes queued behind it.
+		// gone), so reaching it proves either a channel dropped the
+		// acknowledgment — not the token — or this node legitimately
+		// acquired a successor token while the transfer died with its
+		// recipient. Reclaiming the root here would clobber the father
+		// pointer and the in-progress critical section's lender
+		// bookkeeping, leaving the node rootless and tokenless after its
+		// release; keep the current state instead and leave a genuinely
+		// dead transfer to the suspicion machinery of the nodes queued
+		// behind it.
 		return
-	}
-	if n.xferSource != ocube.None {
-		if tr := n.track.lookup(n.xferSource); tr != nil && tr.hasGrant && tr.grantSeq == n.xferSeq {
-			// The transfer never reached its recipient, so the source was
-			// not actually granted: let its re-issued request through.
-			tr.hasGrant = false
-		}
 	}
 	if n.search.active {
 		n.endSearch()
@@ -301,70 +333,88 @@ func (n *Node) bumpEpoch() {
 // --- search_father (Section 5) ---
 
 // startSearch begins the iterative father research at the given phase.
+// Every search advances the node's repair generation, fencing off the
+// replies of any earlier, abandoned search (Message.Gen).
 func (n *Node) startSearch(phase int, recovery bool) {
 	if phase < 1 {
 		phase = 1
 	}
 	s := &n.search
 	s.clear()
+	n.repairGen++
 	s.active, s.phase, s.startPhase, s.recovery = true, phase, phase, recovery
 	n.emitSearchStarted(phase)
 	if phase > n.cfg.P {
 		n.searchExhausted()
 		return
 	}
-	n.startPhase()
+	n.probeRound(true)
 }
 
-// startPhase probes every node at distance search.phase.
-func (n *Node) startPhase() {
+// probeRound opens a test round: the carried deferred candidates, plus —
+// when inject is set — every node at distance search.phase, are probed in
+// ascending position order. Each candidate is tested at its own distance
+// (a carried candidate keeps the requirement of the phase it entered at),
+// stamped with the search's repair generation. Probing in position order
+// matters for replay: retesting in answer-arrival order would attach the
+// simulator's seeded delay draws to candidates in a run-dependent order.
+func (n *Node) probeRound(inject bool) {
 	s := &n.search
-	s.outstanding = ocube.AppendAtDist(s.outstanding[:0], n.cfg.Self, s.phase)
+	slices.Sort(s.deferred)
+	s.outstanding = append(s.outstanding[:0], s.deferred...)
 	s.deferred = s.deferred[:0]
-	s.remaining = len(s.outstanding)
+	if inject {
+		s.outstanding = ocube.AppendAtDist(s.outstanding, n.cfg.Self, s.phase)
+		slices.Sort(s.outstanding)
+	}
+	s.progress = false
 	for _, k := range s.outstanding {
 		s.tested++
-		n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
+		n.send(Message{Kind: KindTest, To: k, Phase: ocube.Dist(n.cfg.Self, k), Gen: n.repairGen})
 	}
 	n.armTimer(TimerSearchRound, n.roundDelay())
 }
 
-// onSearchRound closes a test round: silent candidates are discarded;
-// deferred (try-later) candidates are probed again; a phase with no
-// candidates left fails and the search moves outward.
+// onSearchRound closes a test round: silent candidates are discarded.
+// If a candidate left the set this round (silence, adoption bookkeeping
+// or a queued-target discard), the deferred remainder is retested at the
+// same phase — the transient case, where a busy candidate resolves
+// within a round or two and the nearest-father preference is worth
+// waiting for. A round with no progress advances the search outward
+// instead, carrying the deferred set along (see searchState); once every
+// phase has been injected, tail rounds keep retesting the carried set
+// until it drains, and only then is the search exhausted.
 func (n *Node) onSearchRound() {
 	if !n.search.active {
 		return
 	}
 	s := &n.search
-	s.remaining -= len(s.outstanding) // no answer within 2δ: discarded
-	s.outstanding = s.outstanding[:0]
-	if s.remaining > 0 {
-		// Probe again in ascending position order: retesting in
-		// answer-arrival order would attach this round's sends (and the
-		// simulator's seeded delay draws) to candidates in a run-dependent
-		// order, breaking bit-for-bit replay whenever two nodes deferred.
-		slices.Sort(s.deferred)
-		s.outstanding = append(s.outstanding, s.deferred...)
-		s.deferred = s.deferred[:0]
-		for _, k := range s.outstanding {
-			s.tested++
-			n.send(Message{Kind: KindTest, To: k, Phase: s.phase})
-		}
-		n.armTimer(TimerSearchRound, n.roundDelay())
+	if len(s.outstanding) > 0 {
+		s.progress = true // no answer within 2δ: discarded
+		s.outstanding = s.outstanding[:0]
+	}
+	if len(s.deferred) > 0 && s.progress {
+		n.probeRound(false)
 		return
 	}
-	// Phase concluded with no success.
-	s.phase++
+	if s.phase <= n.cfg.P {
+		s.phase++
+	}
 	if s.phase > n.cfg.P {
-		n.searchExhausted()
+		if len(s.deferred) == 0 {
+			n.searchExhausted()
+			return
+		}
+		n.probeRound(false)
 		return
 	}
-	n.startPhase()
+	n.probeRound(true)
 }
 
 // onTest answers a search probe (Section 5, three cases, plus the
-// concurrent-suspicion rules).
+// concurrent-suspicion rules). The reply echoes the probe's phase and
+// repair generation, so the searcher can fence off answers to probes
+// from an earlier search of its own.
 func (n *Node) onTest(m Message) {
 	d := m.Phase
 	if n.search.active {
@@ -375,7 +425,7 @@ func (n *Node) onTest(m Message) {
 			// Our in-search power is phase-1 ≥ d-1; flag the answer so
 			// that only junior searchers adopt it. This subsumes the
 			// paper's equal-phase identity tie-break.
-			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d,
+			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
 				Reply: ReplyOK, FromSearcher: true})
 		case m.From < n.cfg.Self && !n.cfg.DisableEarlyAdopt:
 			// A senior prober is ahead of us. The paper's optimization
@@ -387,10 +437,23 @@ func (n *Node) onTest(m Message) {
 			// waiting so it cannot exhaust its sweep past us and
 			// regenerate a token behind our back. It adopts us once our
 			// phase reaches its level, or gets a definitive answer when
-			// our search ends.
-			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d,
-				Reply: ReplyTryLater})
+			// our search ends. The answer is flagged: a deferral that
+			// guards a LIVE SEARCH must never be absorbed by the
+			// junior's wait-chain closure — we may be about to exhaust
+			// and regenerate, and a sweep that discards us can exhaust
+			// concurrently, duplicating the token.
+			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+				Reply: ReplyTryLater, FromSearcher: true})
 		}
+		return
+	}
+	if n.inCS {
+		// We hold the token inside the critical section. Our power may
+		// be below d, but discarding us would discard the token itself:
+		// answer busy so the searcher keeps retesting until the critical
+		// section ends and the token's fate is observable.
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+			Reply: ReplyBusy})
 		return
 	}
 	p := n.view().Power()
@@ -405,11 +468,15 @@ func (n *Node) onTest(m Message) {
 	}
 	switch {
 	case p >= d:
-		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Reply: ReplyOK})
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen, Reply: ReplyOK})
 	case n.asking:
 		// Our power could still increase before the current request
-		// terminates.
-		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Reply: ReplyTryLater})
+		// terminates. Target declares the node our pending request was
+		// sent to — the one our wait hangs on — so the searcher can tell
+		// a wait that will resolve on its own from one that transitively
+		// hangs on the searcher's own held queue (see onTestReply).
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+			Reply: ReplyTryLater, Target: n.father})
 	default:
 		// Cannot be the searcher's father: stay silent, the searcher
 		// discards us after 2δ.
@@ -419,8 +486,8 @@ func (n *Node) onTest(m Message) {
 // onTestReply processes an answer to one of our probes.
 func (n *Node) onTestReply(m Message) {
 	s := &n.search
-	if !s.active || m.Phase != s.phase {
-		return // stale answer from an earlier phase or search
+	if !s.active || m.Gen != n.repairGen {
+		return // stale answer from an earlier, abandoned search
 	}
 	idx := searchPos(s.outstanding, m.From)
 	if idx < 0 {
@@ -432,31 +499,82 @@ func (n *Node) onTestReply(m Message) {
 			// A junior searcher's promise may be undercut when its own
 			// search concludes: treat it as discarded. Only the junior
 			// side of a searcher pair adopts, so concurrent searches
-			// converge on the smallest searching identity.
+			// converge on the smallest searching identity. The junior
+			// also enters the absorbed set: it yields to us in the
+			// election, so the waits hanging on ITS held queue resolve
+			// no earlier than our own repair — without this, a cycle of
+			// mutually-hostage repairing nodes (each one's re-issued
+			// request queued at the next) blocks every member's sweep on
+			// the others' hostages and no one ever exhausts.
 			s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
-			s.remaining--
+			s.absorb(m.From)
+			s.progress = true
 			return
 		}
 		n.concludeSearch(m.From)
 	case ReplyTryLater:
 		s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
-		if n.queuedTarget(m.From) {
-			// The answerer's pending request is queued at this very node
-			// (it adopted us and re-issued): its power cannot increase
-			// before we serve it, so deferring it would deadlock the
-			// sweep against our own queue. Discard it; the confirmation
-			// sweep re-probes it before any regeneration.
-			s.remaining--
+		if m.FromSearcher {
+			// The answerer is a SENIOR searcher holding us (a junior) in
+			// its election wake. It may be about to exhaust its own sweep
+			// and regenerate; discarding it on wait-chain evidence would
+			// let both sweeps exhaust and duplicate the token. Defer
+			// unconditionally — it resolves by answering ok (we adopt) or
+			// by concluding (then it answers as an ordinary node).
+			s.deferred = append(s.deferred, m.From)
 			return
 		}
+		// The answerer is tokenless right now (it is asking and not in
+		// its critical section — that would be a busy answer), and it
+		// declared the node its pending request was sent to
+		// (Message.Target). Its wait can only resolve on its own if that
+		// chain of declarations stays clear of this node's held queue:
+		// our queue does not drain while we search, so a candidate whose
+		// wait hangs — directly or transitively — on a request we hold
+		// would be deferred forever, deadlocking the sweep against our
+		// own queue (under a failure storm, a cycle of such waits
+		// between repairing nodes is the DESIGN.md §7 non-quiescence).
+		// Such a candidate is discarded and recorded in the absorbed
+		// set: waits on me, waits on a request queued at me, or waits on
+		// an already-absorbed node — the closure grows one declared hop
+		// per retest round, so hostage chains collapse instead of
+		// blocking exhaustion. A discarded candidate is re-probed by the
+		// confirmation sweep (which re-derives the closure from scratch)
+		// before any regeneration, so one that meanwhile became a root
+		// or searcher re-enters as a live witness.
+		wo := m.Target
+		if n.queuedTarget(m.From) || wo == n.cfg.Self ||
+			(wo.Valid(1<<n.cfg.P) && (searchPos(s.absorbed, wo) >= 0 || n.queuedTarget(wo))) {
+			s.absorb(m.From)
+			s.progress = true
+			return
+		}
+		s.deferred = append(s.deferred, m.From)
+		// Keep the declared wait target under probe — but only when its
+		// distance phase has already been injected, meaning it should be
+		// in the candidate set and is not (say it was discarded as
+		// silent while transiently down): the chain through it could
+		// never collapse, because the closure only learns from answers
+		// to live probes. A target the sweep has not reached yet needs
+		// no help — its phase will inject it.
+		if wo != n.cfg.Self && wo.Valid(1<<n.cfg.P) && ocube.Dist(n.cfg.Self, wo) <= s.phase &&
+			searchPos(s.outstanding, wo) < 0 && !slices.Contains(s.deferred, wo) {
+			s.deferred = append(s.deferred, wo)
+		}
+	case ReplyBusy:
+		// The answerer is inside its critical section: it holds the
+		// token. Always retest — never discard — so no sweep can exhaust
+		// (and regenerate) past a live token.
+		s.outstanding = append(s.outstanding[:idx], s.outstanding[idx+1:]...)
 		s.deferred = append(s.deferred, m.From)
 	}
 }
 
 // queuedTarget reports whether a request involving k — as the token
 // recipient or as the ultimate source (k's request proxied by another
-// node) — waits in our queue. Either way k stays asking until we serve
-// that entry, so its try-later answer can never resolve on its own.
+// node) — waits in our queue. Either way serving that entry awaits our
+// own repair, so a wait declared on k cannot resolve before this search
+// concludes.
 func (n *Node) queuedTarget(k ocube.Pos) bool {
 	for i := n.q.head; i >= 0; i = n.q.arena[i].next {
 		if e := &n.q.arena[i]; !e.local && (e.msg.Target == k || e.msg.Source == k) {
@@ -498,14 +616,17 @@ func (n *Node) searchExhausted() {
 		// 1. The confirmation sweep re-probes every node, so a root or
 		// transfer guardian that emerged behind the previous pass — the
 		// token is a moving target — answers ok and is adopted instead of
-		// shadowed by a regeneration.
+		// shadowed by a regeneration. The restart is a fresh repair
+		// attempt: it advances the generation, so replies straggling in
+		// from the failed sweep cannot touch it.
 		tested, recovery := n.search.tested, n.search.recovery
 		n.endSearch()
+		n.repairGen++
 		s := &n.search
 		s.active, s.phase, s.startPhase = true, 1, 1
 		s.sweeps, s.recovery, s.tested = sweeps, recovery, tested
 		n.emitSearchStarted(1)
-		n.startPhase()
+		n.probeRound(true)
 		return
 	}
 	tested := n.search.tested
@@ -523,7 +644,11 @@ func (n *Node) endSearch() {
 
 // reissueRequest regenerates the pending request towards the (new) father
 // with a fresh sequence number, so stale copies of the old one are
-// discarded wherever they surface.
+// discarded wherever they surface. The re-issue is stamped with the
+// repair generation that produced it, so duplicate copies in traces and
+// queues can be told apart by which repair attempt spawned them (the
+// discard guards themselves compare sequences, which stay monotonic per
+// source — generations from different re-issuing proxies are not).
 func (n *Node) reissueRequest() {
 	if n.mandator == ocube.None {
 		// Recovery search: nothing pending, resume queue service.
@@ -538,7 +663,7 @@ func (n *Node) reissueRequest() {
 		n.seq = n.curSeq
 	}
 	n.send(Message{Kind: KindRequest, To: n.father,
-		Target: n.cfg.Self, Source: n.curSource, Seq: n.curSeq, Regen: true})
+		Target: n.cfg.Self, Source: n.curSource, Seq: n.curSeq, Regen: true, Gen: n.repairGen})
 	// The adopted father may itself be repairing (it possibly answered
 	// from inside its own search), so give the re-issued request room for
 	// a full search of its own before suspecting again.

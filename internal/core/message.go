@@ -114,6 +114,14 @@ const (
 	// ReplyTryLater means the answering node's power may still increase
 	// (it is currently asking), so the searcher must test it again.
 	ReplyTryLater
+	// ReplyBusy means the answering node is executing its critical
+	// section: it holds the token right now, so the searcher must keep
+	// retesting it until the critical section ends and the token's fate
+	// is observable. Unlike a plain try-later, a busy answer is never
+	// discarded by the queued-target rule — discarding the one node
+	// known to hold the token would let an exhausted sweep regenerate a
+	// second one.
+	ReplyBusy
 )
 
 // String names the reply.
@@ -123,6 +131,8 @@ func (r TestReply) String() string {
 		return "ok"
 	case ReplyTryLater:
 		return "try-later"
+	case ReplyBusy:
+		return "busy"
 	default:
 		return fmt.Sprintf("reply(%d)", uint8(r))
 	}
@@ -141,6 +151,18 @@ type Message struct {
 	Source ocube.Pos // ultimate critical-section requester
 	Seq    uint64    // per-source request sequence, for duplicate discard
 	Regen  bool      // request re-issued by failure recovery
+
+	// Gen is the repair generation: every search_father a node starts
+	// (including its recovery search) advances the node's generation, and
+	// the search's test probes, their replies and the request the repair
+	// finally re-issues all carry it. A reply whose generation is not the
+	// receiver's current one predates the receiver's present repair — it
+	// answers a probe from an earlier, abandoned search — and is
+	// discarded; without the fence, carrying unresolved candidates across
+	// phases (DESIGN.md §7) would let a stale duplicate answer resurrect
+	// a dead round. (Declared in the padding after Regen, like Epoch, so
+	// Message stays 80 bytes.)
+	Gen uint32
 
 	// Token fields (Source and Seq also identify the served request).
 	Lender ocube.Pos // give the token back to this node; None = keep it
@@ -182,9 +204,9 @@ func (m Message) String() string {
 	case KindEnquiryReply:
 		return fmt.Sprintf("enquiry-reply(%v seq=%d) %v->%v", m.Status, m.Seq, m.From, m.To)
 	case KindTest:
-		return fmt.Sprintf("test(d=%d) %v->%v", m.Phase, m.From, m.To)
+		return fmt.Sprintf("test(d=%d g=%d) %v->%v", m.Phase, m.Gen, m.From, m.To)
 	case KindTestReply:
-		return fmt.Sprintf("test-reply(%v d=%d) %v->%v", m.Reply, m.Phase, m.From, m.To)
+		return fmt.Sprintf("test-reply(%v d=%d g=%d) %v->%v", m.Reply, m.Phase, m.Gen, m.From, m.To)
 	case KindAnomaly:
 		return fmt.Sprintf("anomaly %v->%v", m.From, m.To)
 	default:

@@ -58,6 +58,16 @@ type Config struct {
 	// failure but racy: a token moving behind the single sweep can be
 	// duplicated.
 	DisableConfirmSweep bool
+	// EpochFence makes a node refuse to adopt or act on a token whose
+	// Epoch is below its high-water mark: the fenced token is a proven
+	// survivor of a regeneration this node already knows of, so acting on
+	// it is what turns a double token into a double critical section.
+	// This closes the §4 ack-watchdog window that message loss opens (the
+	// E8 lossy scenario's violations) at the price of deviating from
+	// pure observability: a fenced token is dropped, not forwarded, and
+	// its loss is left to the §4/§5 watchdogs to repair. Off by default
+	// so every recorded trace keeps its exact epoch-transparent behavior.
+	EpochFence bool
 }
 
 func (c Config) validate() error {
@@ -142,9 +152,16 @@ type Node struct {
 	xferSeq     uint64
 	xferPending bool
 
-	// Failure machinery (failure.go).
-	search searchState
-	gens   [numTimerKinds + 1]uint64
+	// Failure machinery (failure.go). repairGen counts the repair
+	// attempts (search_father runs, including confirmation-sweep
+	// restarts) this node has started; the live search's probes, replies
+	// and re-issued request carry it (Message.Gen), fencing off traffic
+	// from abandoned attempts. Monotonic for the node's lifetime — like
+	// seq, it is never reset by Recover, so pre-crash stragglers cannot
+	// alias a post-crash repair.
+	search    searchState
+	repairGen uint32
+	gens      [numTimerKinds + 1]uint64
 
 	// Effect accumulation: effects holds pointers into arena, both
 	// recycled when the next driver call begins (effect.go).
@@ -439,6 +456,7 @@ func (n *Node) processRequest(m Message) {
 		// A newer re-issue of this request arrived while this copy sat in
 		// the queue; serving both would hand out the token twice.
 		n.emitDropped(m, "stale sequence at dequeue")
+		n.obsoleteSuperseded(m, tr.seenSeq)
 		return
 	}
 	if tr != nil && tr.hasGrant && sameRequest(tr.grantSeq, m.Seq) {
@@ -538,13 +556,51 @@ func (n *Node) onRequest(m Message) {
 		n.emitDropped(m, "source or target out of range")
 		return
 	}
+	if m.Source == n.cfg.Self && m.Target != n.cfg.Self {
+		// Our own request came back as a proxy's re-issue — a
+		// failure-recovery duplicate that looped. Taking the mandate
+		// would make us a proxy in a CYCLE on our own request (the §7
+		// mutual-proxy knot: two nodes each mandating the other's
+		// request, re-issuing copies every informed node drops as
+		// stale). The source is the one node that knows its request's
+		// true state, so it adjudicates: the circulating copy dies, its
+		// holder is released, and if the request is still live we
+		// re-issue it ourselves under a sequence that supersedes every
+		// copy in flight.
+		n.emitDropped(m, "own request returned")
+		n.send(Message{Kind: KindObsolete, To: m.Target, Source: m.Source, Seq: m.Seq})
+		if n.wantCS && n.mandator == n.cfg.Self && sameRequest(m.Seq, n.curSeq) {
+			if m.Seq > n.curSeq {
+				n.curSeq = m.Seq
+			}
+			n.curSeq++
+			n.seq = n.curSeq
+			n.resyncReissue()
+		}
+		return
+	}
 	tr := n.track.ensure(m.Source)
 	if tr.hasSeen && m.Seq < tr.seenSeq {
 		n.emitDropped(m, "stale sequence")
+		n.obsoleteSuperseded(m, tr.seenSeq)
 		return
 	}
 	tr.hasSeen = true
 	tr.seenSeq = m.Seq
+	if n.mandator != ocube.None && n.curSource == m.Source &&
+		sameRequest(n.curSeq, m.Seq) && m.Seq > n.curSeq {
+		// The source (or a proxy closer to it) re-issued the very request
+		// we already mandate, with a newer sequence: our own re-issues
+		// are now stale copies that every informed node discards, so the
+		// mandate could never be served under its old number — while the
+		// newer copy would sit hostage in our held queue, a two-node
+		// mutual wait (DESIGN.md §7). Re-sync the mandate to the newer
+		// sequence and push a fresh re-issue towards our father instead
+		// of queueing a second copy.
+		n.curSeq = m.Seq
+		n.resyncReissue()
+		return
+	}
 	// A re-issue of a request already queued here supersedes the queued
 	// copy in place, so recovery storms cannot bloat the queue.
 	for i := n.q.head; i >= 0; i = n.q.arena[i].next {
@@ -558,11 +614,67 @@ func (n *Node) onRequest(m Message) {
 	n.drain()
 }
 
+// resyncReissue pushes a Regen re-issue of the current mandate — whose
+// sequence the caller just advanced — towards the father and re-arms
+// suspicion. It is a no-op while a search is active or the father is
+// unknown: an active search re-issues on its own conclusion with the
+// advanced counter, and a fatherless node's pending suspicion repairs
+// first; in both cases only the counter moves now.
+func (n *Node) resyncReissue() {
+	if n.search.active || n.father == ocube.None {
+		return
+	}
+	n.send(Message{Kind: KindRequest, To: n.father,
+		Target: n.cfg.Self, Source: n.curSource, Seq: n.curSeq,
+		Regen: true, Gen: n.repairGen})
+	n.armSuspicion()
+}
+
+// obsoleteSuperseded tells the target of a just-dropped stale request to
+// abandon its mandate when the staleness crosses a sequence block: the
+// source has since issued a NEW logical request (blocks are assigned per
+// request, see seqStride), which proves it no longer cares about the
+// dropped one, so any proxy still re-issuing the old block holds a dead
+// mandate. Without the notification such a zombie proxy re-issues
+// forever against this very guard while the source's fresh request sits
+// hostage in the zombie's held queue — the two-node circulation of
+// DESIGN.md §7. Same-block staleness is NOT notified: a newer re-issue
+// of the same logical request supersedes the copy but keeps the mandate
+// alive.
+func (n *Node) obsoleteSuperseded(m Message, seenSeq uint64) {
+	if !sameRequest(m.Seq, seenSeq) && m.Target != m.Source {
+		n.send(Message{Kind: KindObsolete, To: m.Target, Source: m.Source, Seq: m.Seq})
+	}
+}
+
 // onObsolete abandons a mandate whose request was granted elsewhere (a
 // duplicate of it was served): stop re-issuing and resume queue service.
 // The source itself recovers through its own machinery if the grant
 // later turns out to have failed.
+//
+// The notification is then propagated one hop down the mandate chain:
+// the grant-holding node only knows the *immediate* target of the copy
+// it dropped, but failure re-issues rebuild proxy chains, so the node
+// that keeps resurrecting the duplicate may sit several mandates below.
+// Without propagation that node's mandate is a zombie — it re-issues,
+// an intermediate proxy forwards a re-targeted copy, the grant holder
+// obsoletes the proxy, and the zombie never learns: the DESIGN.md §7
+// non-quiescent storm. Each hop clears its mandate before the message
+// travels, so a propagated obsolete visits any node at most once.
 func (n *Node) onObsolete(m Message) {
+	if n.awaitingReturn() && m.Source == n.loanSource && m.Seq == n.loanSeq {
+		// The lent token reached a node that no longer asks — the very
+		// request the loan served is dead, and the recipient dropped the
+		// token before sending this (see onToken). Record the request as
+		// granted so further circulating duplicates are swallowed instead
+		// of re-earning loans, and regenerate immediately rather than
+		// waiting out the enquiry cycle. The exact-sequence match keeps a
+		// straggler from an earlier loan of the same block from
+		// regenerating over a live successor loan.
+		n.markGranted(n.loanSource, n.loanSeq)
+		n.regenerateToken("loan answered a dead request, token dropped by its target")
+		return
+	}
 	if n.mandator == ocube.None || n.curSource != m.Source || !sameRequest(n.curSeq, m.Seq) {
 		return
 	}
@@ -577,6 +689,11 @@ func (n *Node) onObsolete(m Message) {
 		n.endSearch()
 	}
 	n.cancelTimer(TimerSuspicion)
+	if n.mandator != m.Source {
+		// Our mandator proxies the same logical request (the source's own
+		// mandate is cleared by its grant, never by an obsolete).
+		n.send(Message{Kind: KindObsolete, To: n.mandator, Source: m.Source, Seq: m.Seq})
+	}
 	n.mandator = ocube.None
 	n.curSource = ocube.None
 	n.asking = false
@@ -588,10 +705,19 @@ func (n *Node) onObsolete(m Message) {
 func (n *Node) onToken(m Message) {
 	// Epoch accounting first, before any guard can drop the message: a
 	// token stamped below our known epoch is a survivor of a regeneration
-	// we know of — report the sighting (observability only; the handling
-	// below is unchanged). Otherwise adopt the newer knowledge.
+	// we know of — report the sighting (observability only, unless the
+	// fence is on). Otherwise adopt the newer knowledge.
 	if m.Epoch < n.epoch {
 		n.emitStaleToken(m)
+		if n.cfg.EpochFence {
+			// Epoch-fenced adoption: refuse to act on the surviving old
+			// token. No acknowledgment is sent either — the sender keeps
+			// guardianship of an unlent survivor and its watchdog (or a
+			// lender's, for a loan) repairs the loss, which is exactly
+			// the machinery that should absorb a duplicate.
+			n.emitDropped(m, "stale epoch fenced")
+			return
+		}
 	} else {
 		n.epoch = m.Epoch
 	}
@@ -609,7 +735,31 @@ func (n *Node) onToken(m Message) {
 		// us), keeping the token unique and the system live.
 		if m.Lender != ocube.None {
 			n.emitDropped(m, "unexpected lent token")
+			if m.Source == n.cfg.Self && m.Lender != n.cfg.Self {
+				// The loan served a dead request of OURS (we are not
+				// asking — the request's copies outlived a crash and
+				// recovery). Without feedback the lender waits out its
+				// enquiry cycle, regenerates, and lends to the next
+				// circulating duplicate of the same request: one
+				// regeneration per copy, a mill that dominates churn
+				// runs. Tell the lender the request is obsolete and that
+				// its token died here, so it regenerates once and fences
+				// the siblings with a grant record (onObsolete).
+				n.send(Message{Kind: KindObsolete, To: m.Lender,
+					Source: m.Source, Seq: m.Seq})
+			}
 			return
+		}
+		if n.search.active {
+			// A recovery search can be in flight here (mandator is None
+			// and the node is not asking). It must die with the adoption:
+			// were it left running, its conclusion would overwrite the
+			// root's nil father, silently demoting the token holder to a
+			// low-power node that answers no probes — the one witness
+			// whose ok blocks every other searcher's regeneration — and
+			// its active flag would keep the queue held (drain is a no-op
+			// while searching), parking the token on a mute hoarder.
+			n.endSearch()
 		}
 		n.tokenHere = true
 		n.tokenEpoch = m.Epoch
@@ -622,6 +772,18 @@ func (n *Node) onToken(m Message) {
 		// The original request was served after all; abandon the search.
 		n.endSearch()
 	}
+	if n.mandator == ocube.None && n.loanSource == ocube.None {
+		// Asking with no mandate and no outstanding loan: we are inside
+		// (or just past) our own critical section — the grant cleared the
+		// mandate — and a SECOND token reached us, a duplicate from a
+		// regeneration race. Absorb it: the acknowledgment above already
+		// released an unlent duplicate's guardian, so dropping it here
+		// retires the duplicate for good, while letting it fall through
+		// to the loan-return case below would clear `asking` mid-CS and
+		// drain the queue under the running critical section.
+		n.emitDropped(m, "duplicate token while holding one")
+		return
+	}
 	n.tokenHere = true
 	n.tokenEpoch = m.Epoch
 	switch {
@@ -629,7 +791,18 @@ func (n *Node) onToken(m Message) {
 		// Return of the token after a loan.
 		n.cancelTimer(TimerTokenReturn)
 		n.cancelTimer(TimerEnquiry)
-		if n.loanSource != ocube.None {
+		if n.loanSource != ocube.None && m.Lender == ocube.None &&
+			m.Source == n.loanSource && sameRequest(m.Seq, n.loanSeq) {
+			// Record the grant only when the return provably answers the
+			// outstanding loan: exit_cs stamps the source and served
+			// sequence and always returns the token UNLENT. Under
+			// overlapping failures other tokens land on a waiting lender
+			// — a duplicate from a raced regeneration, or the loan
+			// itself bounced back still-lent by a proxy whose mandate
+			// chain looped to us before reaching the source. Recording
+			// the loan's source as granted on such evidence would make
+			// this node swallow the source's live re-issues as "already
+			// granted" forever while the source is still asking.
 			n.markGranted(n.loanSource, n.loanSeq)
 		}
 		n.loanSource, n.loanTarget = ocube.None, ocube.None

@@ -106,7 +106,7 @@ func scheduleFor(load string, n int, seed int64) []workload.Request {
 func algorithmConfig(algo string, p int) (sim.Config, error) {
 	cfg := sim.Config{P: p}
 	switch algo {
-	case "open-cube":
+	case "open-cube", "open-cube-fenced":
 	case "scheme-raymond":
 		cfg.Node = core.Config{Policy: core.RaymondPolicy{}}
 	case "scheme-naimi-trehel":

@@ -53,8 +53,12 @@ const (
 var E8Scenarios = []string{ScenarioCrashInCS, ScenarioLossy, ScenarioPartition}
 
 // E8Algorithms lists the algorithms compared by E8: the fault-tolerant
-// open cube against the two classic baselines.
-var E8Algorithms = []string{"open-cube", "classic-raymond", "classic-naimi-trehel"}
+// open cube — plain and with the opt-in epoch fence (core.Config
+// .EpochFence), which refuses to act on tokens older than the observer's
+// epoch high-water mark and should convert the lossy scenario's
+// double-token violations into watchdog repairs — against the two
+// classic baselines.
+var E8Algorithms = []string{"open-cube", "open-cube-fenced", "classic-raymond", "classic-naimi-trehel"}
 
 // e8LossProb is the per-message loss probability of the lossy scenario.
 const e8LossProb = 0.01
@@ -123,10 +127,11 @@ func runE8(algo, scenario string, p int, reqs []workload.Request, seed int64) (E
 	if err != nil {
 		return row, err
 	}
-	if algo == "open-cube" {
+	if algo == "open-cube" || algo == "open-cube-fenced" {
 		// The comparison point is the paper's algorithm with its Section 5
 		// failure handling on; the baselines have no equivalent to enable.
 		cfg.Node = ftNodeConfig()
+		cfg.Node.EpochFence = algo == "open-cube-fenced"
 	}
 	horizon := e8Horizon(n)
 	base := sim.UniformDelay(delta/2, delta)

@@ -166,30 +166,28 @@ func runE9(p, keys int, skew string, seed int64) (E9Row, int64, error) {
 	// inside that critical section; recover it well after the suspicion
 	// and enquiry machinery of every affected instance has concluded.
 	// Key 0 is the Zipf rank-0 key, i.e. the hottest by construction.
-	// The K=1 cell is exempt: it is the single-mutex overhead anchor
-	// (how much the envelope layer costs against E1–E8's plain runs),
-	// and a crash there just re-litigates E3/E8 — at large N it lands in
-	// the DESIGN.md §7 storm residual the episode-structured experiments
-	// deliberately avoid.
-	if keys > 1 {
-		hotGrants := 0
-		sp.OnGrant(func(inst int, x ocube.Pos) {
-			if inst == 0 {
-				hotGrants++
-				if hotGrants == 2 {
-					sp.Network().Fail(x, 0)
-					sp.Network().Recover(x, 400*delta)
-				}
+	// The K=1 cell gets the same treatment: its historical exemption
+	// existed only because a single-mutex crash at N=256 under load used
+	// to land in the DESIGN.md §7 storm residual, which PR 5 fixed —
+	// every cell now carries the crash and must still complete.
+	hotGrants := 0
+	sp.OnGrant(func(inst int, x ocube.Pos) {
+		if inst == 0 {
+			hotGrants++
+			if hotGrants == 2 {
+				sp.Network().Fail(x, 0)
+				sp.Network().Recover(x, 400*delta)
 			}
-		})
-	}
+		}
+	})
 	for _, r := range reqs {
 		sp.Request(r.Key, ocube.Pos(r.Node), r.At)
 	}
 	// The settle window after the horizon covers the crash outage plus a
 	// few full search generations at the rescaled round delay; a space
-	// still churning past it is in the DESIGN.md §7 storm regime and is
-	// reported STALLED rather than simulated to exhaustion.
+	// still churning past it is reported STALLED. Since the §7 fix this
+	// must never happen — TestE9NoStalledCells and the -strict CLI gate
+	// pin it at zero.
 	row.Completed = sp.Run(horizon + 32000*delta)
 	row.Grants = sp.Grants()
 	row.Regens = sp.Regenerations()

@@ -51,6 +51,11 @@ func renderAll(t *testing.T) string {
 		t.Fatalf("E9: %v", err)
 	}
 	b.WriteString(FormatE9(e9))
+	e10, err := E10SteadyChurn([]int{4, 5}, seed)
+	if err != nil {
+		t.Fatalf("E10: %v", err)
+	}
+	b.WriteString(FormatE10(e10))
 	return b.String()
 }
 
@@ -67,7 +72,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if seq != par {
 		t.Errorf("parallel sweep diverged from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
 	}
-	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E7 —") || !strings.Contains(seq, "E9 —") {
+	if !strings.Contains(seq, "E1 —") || !strings.Contains(seq, "E7 —") ||
+		!strings.Contains(seq, "E9 —") || !strings.Contains(seq, "E10 —") {
 		t.Errorf("rendered tables look truncated:\n%s", seq)
 	}
 }

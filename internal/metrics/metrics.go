@@ -24,6 +24,24 @@ type Summary struct {
 	sorted  bool
 }
 
+// Merge folds every sample of other into s — the deterministic way to
+// combine per-cell summaries computed on a worker pool: merge them in a
+// fixed order after the sweep instead of sharing one summary across
+// workers. other is left unchanged.
+func (s *Summary) Merge(other *Summary) {
+	other.mu.Lock()
+	samples := append([]float64(nil), other.samples...)
+	other.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range samples {
+		s.samples = append(s.samples, v)
+		s.sum += v
+		s.sumSq += v * v
+	}
+	s.sorted = false
+}
+
 // Observe adds one sample.
 func (s *Summary) Observe(v float64) {
 	s.mu.Lock()

@@ -118,7 +118,8 @@ type Network struct {
 	rng      *rand.Rand
 	logging  bool
 
-	onGrant func(ocube.Pos)
+	onGrant  func(ocube.Pos)
+	onAccept func(ocube.Pos)
 
 	// busy caches, per node, the peer's Busy predicate; it is refreshed
 	// after every event that touches a node, so quiescence detection is
@@ -365,6 +366,9 @@ func (w *Network) handle(ent heapEntry) {
 		if w.logging {
 			w.logf("node %v requests CS", x)
 		}
+		if w.onAccept != nil {
+			w.onAccept(x)
+		}
 		w.apply(x, effs)
 	case evRequestInst:
 		w.pendingOps--
@@ -577,6 +581,13 @@ type Message = core.Message
 // OnGrant registers a callback invoked at every critical-section entry.
 // Set it before running.
 func (w *Network) OnGrant(fn func(ocube.Pos)) { w.onGrant = fn }
+
+// OnRequest registers a callback invoked when a scheduled RequestCS is
+// accepted by its node (rejected duplicates of a still-pending wish do
+// not fire it). Paired with OnGrant it measures per-request waiting time
+// at the driver level: each node has at most one outstanding request, so
+// accepts and grants at one node pair up FIFO. Set it before running.
+func (w *Network) OnRequest(fn func(ocube.Pos)) { w.onAccept = fn }
 
 // enterCS accounts a grant and schedules the release.
 func (w *Network) enterCS(x ocube.Pos) {

@@ -140,3 +140,49 @@ func sortSchedule(reqs []Request) {
 		return reqs[i].Node < reqs[j].Node
 	})
 }
+
+// ChurnEvent is one scheduled fail-stop crash or recovery. Events are
+// emitted in nondecreasing At order; every crash is paired with a later
+// recovery, so a schedule applied to completion leaves every node up.
+type ChurnEvent struct {
+	Node    int
+	At      time.Duration
+	Recover bool // false = the node fails at At, true = it recovers
+}
+
+// Churn generates continuous Poisson fail/recover churn: crash arrivals
+// with the given mean inter-arrival gap over the horizon, each crashing a
+// uniformly random node that then recovers after an exponentially
+// distributed downtime (plus one gap's floor of meanDown/8 so a crash is
+// never a no-op flicker). An arrival that lands on a node still down is
+// skipped — its rng draws are still consumed, keeping schedules
+// replayable — so concurrent failures of distinct nodes overlap freely
+// but no node is double-crashed. Crashes arriving by the horizon may
+// recover after it; drivers run the tail out. The draw order per arrival
+// is fixed: gap, victim, then (if the victim is up) downtime.
+// Degenerate parameters (non-positive n, gaps or horizon) yield an empty
+// schedule.
+func Churn(rng *rand.Rand, n int, meanFailGap, meanDown, horizon time.Duration) []ChurnEvent {
+	if n <= 0 || meanFailGap <= 0 || meanDown <= 0 || horizon <= 0 {
+		return nil
+	}
+	var out []ChurnEvent
+	upAt := make([]time.Duration, n)
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() * float64(meanFailGap))
+		if t > horizon {
+			break
+		}
+		victim := rng.Intn(n)
+		if upAt[victim] > t {
+			continue
+		}
+		down := time.Duration(rng.ExpFloat64()*float64(meanDown)) + meanDown/8
+		out = append(out, ChurnEvent{Node: victim, At: t})
+		out = append(out, ChurnEvent{Node: victim, At: t + down, Recover: true})
+		upAt[victim] = t + down
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

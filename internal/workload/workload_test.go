@@ -169,3 +169,56 @@ func TestRoundRobinShape(t *testing.T) {
 		}
 	}
 }
+
+func TestChurnSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	evs := Churn(rng, 16, 50*time.Millisecond, 100*time.Millisecond, 2*time.Second)
+	if len(evs) == 0 || len(evs)%2 != 0 {
+		t.Fatalf("events = %d, want a non-empty even count (fail/recover pairs)", len(evs))
+	}
+	down := map[int]bool{}
+	last := time.Duration(0)
+	for _, ev := range evs {
+		if ev.At < last {
+			t.Fatalf("events out of order: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		if ev.Recover {
+			if !down[ev.Node] {
+				t.Fatalf("recovery for node %d that is not down", ev.Node)
+			}
+			down[ev.Node] = false
+		} else {
+			if down[ev.Node] {
+				t.Fatalf("double crash of node %d", ev.Node)
+			}
+			down[ev.Node] = true
+		}
+	}
+	for n, d := range down {
+		if d {
+			t.Errorf("node %d left down at schedule end", n)
+		}
+	}
+	// Same seed, same schedule (replayability).
+	again := Churn(rand.New(rand.NewSource(7)), 16, 50*time.Millisecond, 100*time.Millisecond, 2*time.Second)
+	if len(again) != len(evs) {
+		t.Fatalf("replay length %d != %d", len(again), len(evs))
+	}
+	for i := range evs {
+		if evs[i] != again[i] {
+			t.Fatalf("replay diverged at %d: %+v != %+v", i, evs[i], again[i])
+		}
+	}
+	// Degenerate parameters yield empty schedules, never panics.
+	for _, evs := range [][]ChurnEvent{
+		Churn(rng, 0, time.Second, time.Second, time.Second),
+		Churn(rng, 8, 0, time.Second, time.Second),
+		Churn(rng, 8, time.Second, 0, time.Second),
+		Churn(rng, 8, time.Second, time.Second, 0),
+	} {
+		if len(evs) != 0 {
+			t.Errorf("degenerate churn produced %d events", len(evs))
+		}
+	}
+}
