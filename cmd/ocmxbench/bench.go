@@ -191,6 +191,15 @@ func benchJSON(label string, seed int64) error {
 		{"e10_n256", "msgs/grant (steady churn)", func() (int64, float64, error) {
 			return perGrant(harness.E10Throughput(8, seed))
 		}},
+		// e11_n16 is new in PR 6: the hardest session-on recovery cell —
+		// 1% loss plus a crash-in-CS with the reliable session layer
+		// interposed. The harness gate inside errors unless the run
+		// completes with zero application-visible violations, so this
+		// entry doubles as a correctness check; the metric counts
+		// physical transmissions (including retransmits) per grant.
+		{"e11_n16", "msgs/grant (1% loss + crash, sessions)", func() (int64, float64, error) {
+			return perGrant(harness.E11Throughput(4, seed))
+		}},
 		// e8_n16: the fault-injection comparison's open-cube crash cell
 		// (grants recovered after the CS holder fail-stops), new in PR 3.
 		{"e8_n16", "grants after holder crash", func() (int64, float64, error) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10] [-seed N] [-full] [-parallel N] [-strict] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11] [-seed N] [-full] [-parallel N] [-strict] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps; for E7 it extends the large-P sweep to
@@ -35,12 +35,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
@@ -239,6 +240,38 @@ func main() {
 				}
 			}
 		}
+		return nil
+	})
+
+	run("e11", func() error {
+		p := 4
+		if *full {
+			p = 5
+		}
+		rows, err := harness.E11LossyRecovery(p, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE11(rows))
+		if *strict {
+			for _, r := range rows {
+				// The headline gate: sessions + fencing leave no
+				// application-visible violation and every run completes.
+				if r.Session && (!r.Completed || r.Visible != 0) {
+					return fmt.Errorf("strict: e11 loss=%g crash=%v session=on completed=%v visible=%d",
+						r.Loss, r.Crash, r.Completed, r.Visible)
+				}
+			}
+		}
+		// The live half: wall-clock lease-reclaim latency on loopback.
+		// Stderr, not stdout — the latency is environment wall time, and
+		// stdout must stay byte-identical across runs and -parallel
+		// settings (CI compares them).
+		lat, err := harness.E11LeaseReclaim(100 * time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("lease reclaim: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "e11: live lease-reclaim latency (ttl=100ms, lossy loopback sessions): %v\n", lat)
 		return nil
 	})
 }

@@ -39,15 +39,18 @@ func main() {
 			for k := 0; k < 9; k++ {
 				name := names[(id+k)%len(names)]
 				// Lock this account's own distributed mutex; other
-				// accounts stay lockable in parallel.
-				if err := node.Lock(context.Background(), name); err != nil {
+				// accounts stay lockable in parallel. The returned fence
+				// identifies this grant; presenting it to Unlock (instead
+				// of 0, "whatever I hold") catches lease expiry races.
+				fence, err := node.Lock(context.Background(), name)
+				if err != nil {
 					log.Printf("node %d: %v", id, err)
 					return
 				}
 				mu.Lock()
 				accounts[name] += 1
 				mu.Unlock()
-				if err := node.Unlock(name); err != nil {
+				if err := node.Unlock(name, fence); err != nil {
 					log.Printf("node %d: %v", id, err)
 					return
 				}

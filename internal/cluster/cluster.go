@@ -155,20 +155,29 @@ func (n *Node) armTimer(e core.StartTimer) {
 // section, or ctx is done. On cancellation after the request was issued,
 // the eventual grant is released immediately.
 func (n *Node) Lock(ctx context.Context) error {
+	_, err := n.LockFenced(ctx)
+	return err
+}
+
+// LockFenced is Lock returning the grant's fencing token
+// (core.Grant.Fence): strictly increasing across the grants of one token
+// lineage, with regenerated tokens outranking the copies they replace,
+// so fence-comparing resources reject a stale holder's accesses.
+func (n *Node) LockFenced(ctx context.Context) (uint64, error) {
 	reply := make(chan error, 1)
 	select {
 	case n.calls <- call{kind: "lock", reply: reply}:
 	case <-n.stop:
-		return ErrClosed
+		return 0, ErrClosed
 	case <-ctx.Done():
-		return ctx.Err()
+		return 0, ctx.Err()
 	}
 	if err := <-reply; err != nil {
-		return fmt.Errorf("cluster: lock: %w", err)
+		return 0, fmt.Errorf("cluster: lock: %w", err)
 	}
 	select {
-	case <-n.grantC:
-		return nil
+	case g := <-n.grantC:
+		return g.Fence, nil
 	case <-ctx.Done():
 		// Abandon: when the grant eventually arrives, give it right back.
 		go func() {
@@ -178,9 +187,9 @@ func (n *Node) Lock(ctx context.Context) error {
 			case <-n.stop:
 			}
 		}()
-		return ctx.Err()
+		return 0, ctx.Err()
 	case <-n.stop:
-		return ErrClosed
+		return 0, ErrClosed
 	}
 }
 

@@ -117,6 +117,12 @@ type Grant struct {
 	// Lender is the node the token will be given back to on release
 	// (self if the node became the root).
 	Lender ocube.Pos
+	// Fence is the client-visible fencing token of this grant:
+	// (tokenEpoch<<32 | per-token grant counter), strictly increasing
+	// across the grants of one token lineage, with regenerated tokens
+	// outranking the copies they replace. Zero for algorithms that do not
+	// fence (the classic baselines).
+	Fence uint64
 }
 
 // StartTimer schedules a timer fire: after Delay the driver must call

@@ -310,7 +310,7 @@ func (n *Node) becomeRootWithToken(reason string) {
 		// Serve the mandate by lending the regenerated token.
 		n.cancelTimer(TimerSuspicion)
 		n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
-			Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch})
+			Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch, Fence: n.fenceCtr})
 		n.tokenHere = false
 		n.beginLoan(n.mandator, n.curSource, n.curSeq)
 		n.mandator = ocube.None
@@ -328,6 +328,10 @@ func (n *Node) becomeRootWithToken(reason string) {
 func (n *Node) bumpEpoch() {
 	n.epoch++
 	n.tokenEpoch = n.epoch
+	// A regeneration opens a fresh lineage: its grant counter restarts,
+	// and because the fence orders by epoch first, every grant of the new
+	// token outranks every grant of the copies it replaces.
+	n.fenceCtr = 0
 }
 
 // --- search_father (Section 5) ---
@@ -370,7 +374,7 @@ func (n *Node) probeRound(inject bool) {
 	s.progress = false
 	for _, k := range s.outstanding {
 		s.tested++
-		n.send(Message{Kind: KindTest, To: k, Phase: ocube.Dist(n.cfg.Self, k), Gen: n.repairGen})
+		n.send(Message{Kind: KindTest, To: k, Phase: int32(ocube.Dist(n.cfg.Self, k)), Gen: n.repairGen})
 	}
 	n.armTimer(TimerSearchRound, n.roundDelay())
 }
@@ -416,7 +420,7 @@ func (n *Node) onSearchRound() {
 // repair generation, so the searcher can fence off answers to probes
 // from an earlier search of its own.
 func (n *Node) onTest(m Message) {
-	d := m.Phase
+	d := int(m.Phase)
 	if n.search.active {
 		// Concurrent searches (Section 5, "concurrent suspicions",
 		// with the junior→senior amendment — see Message.FromSearcher).
@@ -425,7 +429,7 @@ func (n *Node) onTest(m Message) {
 			// Our in-search power is phase-1 ≥ d-1; flag the answer so
 			// that only junior searchers adopt it. This subsumes the
 			// paper's equal-phase identity tie-break.
-			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+			n.send(Message{Kind: KindTestReply, To: m.From, Phase: m.Phase, Gen: m.Gen,
 				Reply: ReplyOK, FromSearcher: true})
 		case m.From < n.cfg.Self && !n.cfg.DisableEarlyAdopt:
 			// A senior prober is ahead of us. The paper's optimization
@@ -442,7 +446,7 @@ func (n *Node) onTest(m Message) {
 			// junior's wait-chain closure — we may be about to exhaust
 			// and regenerate, and a sweep that discards us can exhaust
 			// concurrently, duplicating the token.
-			n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+			n.send(Message{Kind: KindTestReply, To: m.From, Phase: m.Phase, Gen: m.Gen,
 				Reply: ReplyTryLater, FromSearcher: true})
 		}
 		return
@@ -452,7 +456,7 @@ func (n *Node) onTest(m Message) {
 		// be below d, but discarding us would discard the token itself:
 		// answer busy so the searcher keeps retesting until the critical
 		// section ends and the token's fate is observable.
-		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: m.Phase, Gen: m.Gen,
 			Reply: ReplyBusy})
 		return
 	}
@@ -468,14 +472,14 @@ func (n *Node) onTest(m Message) {
 	}
 	switch {
 	case p >= d:
-		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen, Reply: ReplyOK})
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: m.Phase, Gen: m.Gen, Reply: ReplyOK})
 	case n.asking:
 		// Our power could still increase before the current request
 		// terminates. Target declares the node our pending request was
 		// sent to — the one our wait hangs on — so the searcher can tell
 		// a wait that will resolve on its own from one that transitively
 		// hangs on the searcher's own held queue (see onTestReply).
-		n.send(Message{Kind: KindTestReply, To: m.From, Phase: d, Gen: m.Gen,
+		n.send(Message{Kind: KindTestReply, To: m.From, Phase: m.Phase, Gen: m.Gen,
 			Reply: ReplyTryLater, Target: n.father})
 	default:
 		// Cannot be the searcher's father: stay silent, the searcher
@@ -692,6 +696,7 @@ func (n *Node) Recover() []Effect {
 	n.begin()
 	n.father = ocube.None
 	n.tokenHere = false
+	n.fenceCtr = 0 // the counter travels with the token; ours died with it
 	n.asking = false
 	n.inCS = false
 	n.wantCS = false

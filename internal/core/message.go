@@ -168,7 +168,10 @@ type Message struct {
 	Lender ocube.Pos // give the token back to this node; None = keep it
 
 	// Failure-handling fields.
-	Phase  int           // test/test-reply: the search phase d
+	// Phase is the search phase d of test/test-reply probes. Phases are
+	// bounded by the cube order (≤ 20), so int32 is ample; narrowing it
+	// from int freed the word that now holds Fence.
+	Phase  int32
 	Status EnquiryStatus // enquiry-reply
 	Reply  TestReply     // test-reply
 	// FromSearcher marks an ok test-reply sent from inside a concurrent
@@ -188,6 +191,14 @@ type Message struct {
 	// differently on a stale epoch, it only emits a StaleToken effect.
 	// (Declared after the one-byte fields so it packs into their word.)
 	Epoch uint32
+	// Fence is the grant counter of the token carried by KindToken
+	// messages: it travels with the token, increments on every grant, and
+	// resets when a regeneration opens a new epoch. Composed with Epoch as
+	// (Epoch<<32 | Fence) it yields the client-visible fencing token — a
+	// value strictly increasing across the grants of any one token lineage,
+	// with regenerated tokens always outranking the copies they replace.
+	// (Fills the word freed by narrowing Phase, so Message stays 80 bytes.)
+	Fence uint32
 }
 
 // String renders a compact human-readable form for logs and test failures.

@@ -131,6 +131,14 @@ type Node struct {
 	epoch      uint32
 	tokenEpoch uint32
 
+	// fenceCtr is the grant counter of the held token: it travels with the
+	// token (Message.Fence), increments on every grant, and resets when a
+	// regeneration opens a new epoch, so (tokenEpoch<<32 | fenceCtr) — the
+	// client-visible fencing token — is strictly increasing across the
+	// grants of one token lineage and regenerated tokens always outrank
+	// the copies they replace.
+	fenceCtr uint32
+
 	// Request bookkeeping (Section 5 extensions). track pools the
 	// per-source duplicate-discard state (pool.go).
 	seq       uint64    // own request sequence (survives recovery: stable storage)
@@ -285,7 +293,9 @@ func (n *Node) send(m Message) {
 }
 
 func (n *Node) emitGrant(lender ocube.Pos) {
-	n.arena.grants = append(n.arena.grants, Grant{Lender: lender})
+	n.fenceCtr++
+	fence := uint64(n.tokenEpoch)<<32 | uint64(n.fenceCtr)
+	n.arena.grants = append(n.arena.grants, Grant{Lender: lender, Fence: fence})
 	n.effects = append(n.effects, &n.arena.grants[len(n.arena.grants)-1])
 }
 
@@ -392,7 +402,7 @@ func (n *Node) ReleaseCS() ([]Effect, error) {
 	n.wantCS = false
 	if n.lender != n.cfg.Self {
 		n.send(Message{Kind: KindToken, To: n.lender, Lender: ocube.None,
-			Source: n.cfg.Self, Seq: n.csSeq, Epoch: n.tokenEpoch})
+			Source: n.cfg.Self, Seq: n.csSeq, Epoch: n.tokenEpoch, Fence: n.fenceCtr})
 		n.tokenHere = false
 		n.guardTransfer(n.lender, n.csSeq, ocube.None)
 	}
@@ -478,7 +488,7 @@ func (n *Node) processRequest(m Message) {
 		if n.tokenHere {
 			// Give up the token outright: the requester becomes the root.
 			n.send(Message{Kind: KindToken, To: m.Target, Lender: ocube.None,
-				Source: m.Source, Seq: m.Seq, Epoch: n.tokenEpoch})
+				Source: m.Source, Seq: m.Seq, Epoch: n.tokenEpoch, Fence: n.fenceCtr})
 			n.tokenHere = false
 			if m.Target == m.Source {
 				// Only a transfer straight to the source proves its grant;
@@ -502,7 +512,7 @@ func (n *Node) processRequest(m Message) {
 		if n.tokenHere {
 			// Temporarily lend the token; it must come back here.
 			n.send(Message{Kind: KindToken, To: m.Target, Lender: n.cfg.Self,
-				Source: m.Source, Seq: m.Seq, Epoch: n.tokenEpoch})
+				Source: m.Source, Seq: m.Seq, Epoch: n.tokenEpoch, Fence: n.fenceCtr})
 			n.tokenHere = false
 			n.beginLoan(m.Target, m.Source, m.Seq)
 		} else {
@@ -763,6 +773,7 @@ func (n *Node) onToken(m Message) {
 		}
 		n.tokenHere = true
 		n.tokenEpoch = m.Epoch
+		n.fenceCtr = m.Fence
 		n.father = ocube.None
 		n.emitBecameRoot("adopted stray unlent token")
 		n.drain()
@@ -786,6 +797,7 @@ func (n *Node) onToken(m Message) {
 	}
 	n.tokenHere = true
 	n.tokenEpoch = m.Epoch
+	n.fenceCtr = m.Fence
 	switch {
 	case n.mandator == ocube.None:
 		// Return of the token after a loan.
@@ -834,7 +846,7 @@ func (n *Node) onToken(m Message) {
 			n.father = ocube.None
 			n.emitBecameRoot("received unlent token as proxy")
 			n.send(Message{Kind: KindToken, To: n.mandator, Lender: n.cfg.Self,
-				Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch})
+				Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch, Fence: n.fenceCtr})
 			n.tokenHere = false
 			n.beginLoan(n.mandator, n.curSource, n.curSeq)
 			n.mandator = ocube.None
@@ -843,7 +855,7 @@ func (n *Node) onToken(m Message) {
 		} else {
 			n.father = m.From
 			n.send(Message{Kind: KindToken, To: n.mandator, Lender: m.Lender,
-				Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch})
+				Source: n.curSource, Seq: n.curSeq, Epoch: n.tokenEpoch, Fence: n.fenceCtr})
 			n.tokenHere = false
 			n.mandator = ocube.None
 			n.curSource = ocube.None

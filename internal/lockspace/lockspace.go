@@ -36,6 +36,14 @@ var ErrClosed = errors.New("lockspace: closed")
 // key.
 var ErrNotLocked = errors.New("lockspace: key not locked by this node")
 
+// ErrLeaseExpired is returned by Unlock and Keepalive when the hold the
+// caller's fence names is gone: its lease lapsed and the lock was
+// reclaimed (possibly re-granted — the caller's fence no longer matches
+// the current hold). The caller must treat its critical section as
+// already invalid; a FencedResource has been rejecting its fence since
+// the next grant touched it.
+var ErrLeaseExpired = errors.New("lockspace: lease expired")
+
 // KeyInstance maps a lock key to its instance id (64-bit FNV-1a). Every
 // node of a lockspace derives the same id without coordination, which is
 // what lets an instance exist lazily: the first envelope that mentions
@@ -62,6 +70,14 @@ type Config struct {
 	// Transport carries envelope batches between the lockspace nodes. The
 	// caller owns its lifetime.
 	Transport transport.BatchTransport
+	// LeaseTTL, when positive, bounds how long a grant stays valid
+	// without renewal: a holder that neither Unlocks nor Keepalives
+	// within the TTL has its hold reclaimed through the ordinary §3 exit
+	// protocol (the token moves on; the next waiter is served), and its
+	// later Unlock/Keepalive reports ErrLeaseExpired. Fencing makes the
+	// expired holder harmless to fence-checking resources: the reclaiming
+	// grant carries a higher fence. Zero disables expiry.
+	LeaseTTL time.Duration
 }
 
 // Lockspace is one node of the live keyed lock service, driving every
@@ -73,6 +89,7 @@ type Lockspace struct {
 
 	calls  chan lcall
 	timerC chan ltimer
+	leaseC chan uint64 // lease-expiry checks, by instance id
 	stop   chan struct{}
 	done   chan struct{}
 
@@ -92,10 +109,25 @@ type instance struct {
 	node  *core.Node
 	queue []*waiter
 	held  bool
+	// fence is the fencing token of the current hold (core.Grant.Fence);
+	// zero while not held.
+	fence uint64
+	// leaseDeadline is when the current hold's lease lapses; leaseArmed
+	// tracks whether an expiry check is pending, so renewals reset the
+	// deadline without stacking timers.
+	leaseDeadline time.Time
+	leaseArmed    bool
 }
 
 type waiter struct {
 	granted chan struct{}
+	// fence is the grant's fencing token, written by the loop before
+	// granted closes (the close publishes it to the client).
+	fence uint64
+	// abandoned marks a cancelled waiter whose RequestCS is already in
+	// flight: the protocol has no recall, so the eventual grant is given
+	// straight back. Loop-owned.
+	abandoned bool
 }
 
 type lop uint8
@@ -103,12 +135,15 @@ type lop uint8
 const (
 	opAcquire lop = iota + 1
 	opRelease
+	opCancel
+	opKeepalive
 )
 
 type lcall struct {
 	op    lop
 	inst  uint64
-	w     *waiter // acquire: the waiter to enqueue; release: required holder (nil = any)
+	w     *waiter // acquire/cancel: the waiter concerned
+	fence uint64  // release/keepalive: required hold (0 = whatever is held)
 	reply chan error
 }
 
@@ -132,6 +167,7 @@ func New(cfg Config) (*Lockspace, error) {
 		cfg:    cfg,
 		calls:  make(chan lcall),
 		timerC: make(chan ltimer, 128),
+		leaseC: make(chan uint64, 128),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 		insts:  make(map[uint64]*instance),
@@ -149,59 +185,78 @@ func (ls *Lockspace) Self() ocube.Pos { return ls.cfg.Node.Self }
 // anywhere.
 func (ls *Lockspace) States() int64 { return ls.states.Load() }
 
-// Lock blocks until this node holds key's lock, or ctx is done. On
-// cancellation after the request was issued, the eventual grant is
-// released immediately (the protocol has no request recall — same
-// abandonment rule as cluster.Node.Lock).
-func (ls *Lockspace) Lock(ctx context.Context, key string) error {
+// Lock blocks until this node holds key's lock, or ctx is done, and
+// returns the grant's fencing token: strictly increasing per key across
+// re-grants (higher epoch or higher grant counter), so a storage system
+// comparing fences rejects writes from any holder whose lock has since
+// moved on — see opencubemx.FencedResource. On cancellation the caller
+// leaves the local FIFO immediately; if its protocol request was already
+// in flight, the eventual grant is given straight back (the protocol has
+// no request recall).
+func (ls *Lockspace) Lock(ctx context.Context, key string) (uint64, error) {
 	id := KeyInstance(key)
 	w := &waiter{granted: make(chan struct{})}
 	reply := make(chan error, 1)
 	select {
 	case ls.calls <- lcall{op: opAcquire, inst: id, w: w, reply: reply}:
 	case <-ls.stop:
-		return ErrClosed
+		return 0, ErrClosed
 	case <-ctx.Done():
-		return ctx.Err()
+		return 0, ctx.Err()
 	}
 	if err := <-reply; err != nil {
-		return fmt.Errorf("lockspace: lock %q: %w", key, err)
+		return 0, fmt.Errorf("lockspace: lock %q: %w", key, err)
 	}
 	select {
 	case <-w.granted:
-		return nil
+		return w.fence, nil
 	case <-ctx.Done():
-		// Abandon: when the grant eventually reaches this waiter, give
-		// the lock right back.
-		go func() {
-			select {
-			case <-w.granted:
-				reply := make(chan error, 1)
-				select {
-				case ls.calls <- lcall{op: opRelease, inst: id, w: w, reply: reply}:
-					<-reply
-				case <-ls.stop:
-				}
-			case <-ls.stop:
-			}
-		}()
-		return ctx.Err()
+		// Leave the queue. The loop removes a waiter that is not yet at
+		// the head; a head whose grant raced the cancel is released.
+		creply := make(chan error, 1)
+		select {
+		case ls.calls <- lcall{op: opCancel, inst: id, w: w, reply: creply}:
+			<-creply
+		case <-ls.stop:
+		}
+		return 0, ctx.Err()
 	case <-ls.stop:
-		return ErrClosed
+		return 0, ErrClosed
 	}
 }
 
 // Unlock releases this node's hold on key's lock and hands it to the
-// next local waiter, if any.
-func (ls *Lockspace) Unlock(key string) error {
+// next local waiter, if any. fence names the hold being released —
+// the value the Lock returned; if the hold with that fence is gone (its
+// lease lapsed and the lock was reclaimed) Unlock reports
+// ErrLeaseExpired. A zero fence releases whatever hold is current (the
+// pre-fencing behavior).
+func (ls *Lockspace) Unlock(key string, fence uint64) error {
 	reply := make(chan error, 1)
 	select {
-	case ls.calls <- lcall{op: opRelease, inst: KeyInstance(key), reply: reply}:
+	case ls.calls <- lcall{op: opRelease, inst: KeyInstance(key), fence: fence, reply: reply}:
 	case <-ls.stop:
 		return ErrClosed
 	}
 	if err := <-reply; err != nil {
 		return fmt.Errorf("lockspace: unlock %q: %w", key, err)
+	}
+	return nil
+}
+
+// Keepalive renews the lease of the hold fence names (0 = the current
+// hold), pushing its expiry a full LeaseTTL out. It reports
+// ErrLeaseExpired when that hold is gone. With no LeaseTTL configured it
+// only verifies the hold still stands.
+func (ls *Lockspace) Keepalive(key string, fence uint64) error {
+	reply := make(chan error, 1)
+	select {
+	case ls.calls <- lcall{op: opKeepalive, inst: KeyInstance(key), fence: fence, reply: reply}:
+	case <-ls.stop:
+		return ErrClosed
+	}
+	if err := <-reply; err != nil {
+		return fmt.Errorf("lockspace: keepalive %q: %w", key, err)
 	}
 	return nil
 }
@@ -244,12 +299,18 @@ func (ls *Lockspace) loop() {
 				break // dead fire: instance unknown or generation superseded
 			}
 			ls.apply(tf.inst, st, st.node.HandleTimer(tf.kind, tf.gen))
+		case id := <-ls.leaseC:
+			ls.leaseCheck(id)
 		case c := <-ls.calls:
 			switch c.op {
 			case opAcquire:
 				c.reply <- ls.acquire(c.inst, c.w)
 			case opRelease:
-				c.reply <- ls.release(c.inst, c.w)
+				c.reply <- ls.release(c.inst, c.fence)
+			case opCancel:
+				c.reply <- ls.cancel(c.inst, c.w)
+			case opKeepalive:
+				c.reply <- ls.keepalive(c.inst, c.fence)
 			}
 		}
 		ls.flush()
@@ -290,27 +351,38 @@ func (ls *Lockspace) acquire(id uint64, w *waiter) error {
 	return nil
 }
 
-// release ends the head waiter's hold (need == nil releases whoever
-// holds; an abandoned waiter passes itself so a later holder is never
-// robbed) and starts the next waiter's request.
-func (ls *Lockspace) release(id uint64, need *waiter) error {
+// release ends the current hold when fence names it (0 = any hold) and
+// starts the next waiter's request. A fence naming a hold that is gone —
+// lapsed and reclaimed, possibly re-granted — reports ErrLeaseExpired.
+func (ls *Lockspace) release(id uint64, fence uint64) error {
 	st := ls.insts[id]
 	if st == nil || !st.held || len(st.queue) == 0 {
-		if need != nil {
-			return nil // abandoned waiter already superseded: nothing to give back
+		if fence != 0 {
+			return ErrLeaseExpired
 		}
 		return ErrNotLocked
 	}
-	if need != nil && st.queue[0] != need {
-		return nil
+	if fence != 0 && fence != st.fence {
+		return ErrLeaseExpired
 	}
+	return ls.forceRelease(id, st)
+}
+
+// forceRelease ends the head waiter's hold unconditionally, drops any
+// cancelled waiters that queued behind it, and starts the next live
+// waiter's request.
+func (ls *Lockspace) forceRelease(id uint64, st *instance) error {
 	effs, err := st.node.ReleaseCS()
 	if err != nil {
 		return err
 	}
 	st.held = false
+	st.fence = 0
 	st.queue = st.queue[1:]
 	ls.apply(id, st, effs)
+	for len(st.queue) > 0 && st.queue[0].abandoned {
+		st.queue = st.queue[1:]
+	}
 	if len(st.queue) > 0 {
 		effs, err := st.node.RequestCS()
 		if err != nil {
@@ -321,6 +393,101 @@ func (ls *Lockspace) release(id uint64, need *waiter) error {
 		ls.apply(id, st, effs)
 	}
 	return nil
+}
+
+// cancel removes a waiter whose context ended. Not yet at the head: it
+// leaves the FIFO with no protocol action — the regression PR 6 fixes is
+// exactly this removal. At the head and granted (the grant raced the
+// cancel): the hold is released. At the head with its request in flight:
+// the protocol has no recall, so the waiter is marked abandoned and the
+// eventual grant is given straight back (apply's Grant case).
+func (ls *Lockspace) cancel(id uint64, w *waiter) error {
+	st := ls.insts[id]
+	if st == nil {
+		return nil
+	}
+	for i, q := range st.queue {
+		if q != w {
+			continue
+		}
+		if i > 0 {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return nil
+		}
+		if st.held {
+			return ls.forceRelease(id, st)
+		}
+		w.abandoned = true
+		return nil
+	}
+	return nil // already granted and released, or never enqueued
+}
+
+// keepalive renews the lease of the hold fence names (0 = the current
+// hold).
+func (ls *Lockspace) keepalive(id uint64, fence uint64) error {
+	st := ls.insts[id]
+	if st == nil || !st.held || len(st.queue) == 0 {
+		if fence != 0 {
+			return ErrLeaseExpired
+		}
+		return ErrNotLocked
+	}
+	if fence != 0 && fence != st.fence {
+		return ErrLeaseExpired
+	}
+	ls.armLease(id, st)
+	return nil
+}
+
+// armLease starts (or renews) the lease countdown of the current hold.
+// One expiry check is pending per instance at a time; a renewal just
+// moves the deadline the pending check compares against.
+func (ls *Lockspace) armLease(id uint64, st *instance) {
+	if ls.cfg.LeaseTTL <= 0 {
+		return
+	}
+	st.leaseDeadline = time.Now().Add(ls.cfg.LeaseTTL)
+	if !st.leaseArmed {
+		st.leaseArmed = true
+		ls.leaseTimer(id, ls.cfg.LeaseTTL)
+	}
+}
+
+// leaseTimer schedules a lease-expiry check after d.
+func (ls *Lockspace) leaseTimer(id uint64, d time.Duration) {
+	if ls.closed.Load() {
+		return
+	}
+	time.AfterFunc(d, func() {
+		select {
+		case ls.leaseC <- id:
+		case <-ls.stop:
+		}
+	})
+}
+
+// leaseCheck handles a lease-expiry check: renewed holds re-arm for the
+// remainder, lapsed holds are reclaimed through the ordinary §3 exit
+// protocol — the token moves on, the next waiter is served, and the
+// expired client's later Unlock/Keepalive reports ErrLeaseExpired (its
+// fence no longer matches). The reclaiming grant outranks the zombie's
+// fence, so fence-checking resources are already refusing it.
+func (ls *Lockspace) leaseCheck(id uint64) {
+	st := ls.insts[id]
+	if st == nil {
+		return
+	}
+	st.leaseArmed = false
+	if !st.held || len(st.queue) == 0 {
+		return // released before the check fired
+	}
+	if rem := time.Until(st.leaseDeadline); rem > 0 {
+		st.leaseArmed = true
+		ls.leaseTimer(id, rem)
+		return
+	}
+	_ = ls.forceRelease(id, st)
 }
 
 // apply executes one instance's effects: sends join the per-destination
@@ -347,6 +514,15 @@ func (ls *Lockspace) apply(id uint64, st *instance, effs []core.Effect) {
 				continue
 			}
 			st.held = true
+			st.fence = e.Fence
+			if st.queue[0].abandoned {
+				// The head cancelled while its request was in flight:
+				// give the grant straight back and serve the next waiter.
+				_ = ls.forceRelease(id, st)
+				continue
+			}
+			st.queue[0].fence = e.Fence
+			ls.armLease(id, st)
 			close(st.queue[0].granted)
 		}
 	}

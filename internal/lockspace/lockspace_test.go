@@ -62,23 +62,23 @@ func TestLockUnlockAcrossNodes(t *testing.T) {
 
 	// Node 3 locks first (token starts at node 0, so this crosses the
 	// wire), then node 1 must wait for the unlock.
-	if err := nodes[3].Lock(ctx, "k"); err != nil {
+	if _, err := nodes[3].Lock(ctx, "k"); err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
-	go func() { got <- nodes[1].Lock(ctx, "k") }()
+	go func() { _, err := nodes[1].Lock(ctx, "k"); got <- err }()
 	select {
 	case err := <-got:
 		t.Fatalf("second lock acquired while held: %v", err)
 	case <-time.After(50 * time.Millisecond):
 	}
-	if err := nodes[3].Unlock("k"); err != nil {
+	if err := nodes[3].Unlock("k", 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-got; err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[1].Unlock("k"); err != nil {
+	if err := nodes[1].Unlock("k", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -87,17 +87,17 @@ func TestDistinctKeysDoNotBlock(t *testing.T) {
 	nodes := newLiveSpace(t, 1)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := nodes[0].Lock(ctx, "alpha"); err != nil {
+	if _, err := nodes[0].Lock(ctx, "alpha"); err != nil {
 		t.Fatal(err)
 	}
 	// A different key must be grantable while alpha is held.
-	if err := nodes[1].Lock(ctx, "beta"); err != nil {
+	if _, err := nodes[1].Lock(ctx, "beta"); err != nil {
 		t.Fatalf("independent key blocked: %v", err)
 	}
-	if err := nodes[1].Unlock("beta"); err != nil {
+	if err := nodes[1].Unlock("beta", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[0].Unlock("alpha"); err != nil {
+	if err := nodes[0].Unlock("alpha", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -105,32 +105,32 @@ func TestDistinctKeysDoNotBlock(t *testing.T) {
 func TestLocalWaiterQueue(t *testing.T) {
 	nodes := newLiveSpace(t, 1)
 	ctx := context.Background()
-	if err := nodes[1].Lock(ctx, "k"); err != nil {
+	if _, err := nodes[1].Lock(ctx, "k"); err != nil {
 		t.Fatal(err)
 	}
 	// A second local client on the SAME node queues behind the holder
 	// instead of failing with the state machine's ErrBusy.
 	got := make(chan error, 1)
-	go func() { got <- nodes[1].Lock(ctx, "k") }()
+	go func() { _, err := nodes[1].Lock(ctx, "k"); got <- err }()
 	select {
 	case err := <-got:
 		t.Fatalf("queued local waiter returned early: %v", err)
 	case <-time.After(50 * time.Millisecond):
 	}
-	if err := nodes[1].Unlock("k"); err != nil {
+	if err := nodes[1].Unlock("k", 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-got; err != nil {
 		t.Fatal(err)
 	}
-	if err := nodes[1].Unlock("k"); err != nil {
+	if err := nodes[1].Unlock("k", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnlockWithoutLock(t *testing.T) {
 	nodes := newLiveSpace(t, 1)
-	if err := nodes[0].Unlock("never-locked"); !errors.Is(err, ErrNotLocked) {
+	if err := nodes[0].Unlock("never-locked", 0); !errors.Is(err, ErrNotLocked) {
 		t.Fatalf("unlock of unheld key = %v, want ErrNotLocked", err)
 	}
 }
@@ -138,12 +138,12 @@ func TestUnlockWithoutLock(t *testing.T) {
 func TestLockCancellation(t *testing.T) {
 	nodes := newLiveSpace(t, 1)
 	ctx := context.Background()
-	if err := nodes[0].Lock(ctx, "k"); err != nil {
+	if _, err := nodes[0].Lock(ctx, "k"); err != nil {
 		t.Fatal(err)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	got := make(chan error, 1)
-	go func() { got <- nodes[1].Lock(cctx, "k") }()
+	go func() { _, err := nodes[1].Lock(cctx, "k"); got <- err }()
 	time.Sleep(20 * time.Millisecond)
 	cancel()
 	if err := <-got; !errors.Is(err, context.Canceled) {
@@ -151,15 +151,15 @@ func TestLockCancellation(t *testing.T) {
 	}
 	// The abandoned request's eventual grant is auto-released, so a
 	// later client still gets through.
-	if err := nodes[0].Unlock("k"); err != nil {
+	if err := nodes[0].Unlock("k", 0); err != nil {
 		t.Fatal(err)
 	}
 	lctx, lcancel := context.WithTimeout(ctx, 5*time.Second)
 	defer lcancel()
-	if err := nodes[1].Lock(lctx, "k"); err != nil {
+	if _, err := nodes[1].Lock(lctx, "k"); err != nil {
 		t.Fatalf("lock after abandoned grant: %v", err)
 	}
-	if err := nodes[1].Unlock("k"); err != nil {
+	if err := nodes[1].Unlock("k", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -172,10 +172,10 @@ func TestClosedLockspace(t *testing.T) {
 	if err := nodes[0].Close(); err != nil {
 		t.Errorf("double close: %v", err)
 	}
-	if err := nodes[0].Lock(context.Background(), "k"); !errors.Is(err, ErrClosed) {
+	if _, err := nodes[0].Lock(context.Background(), "k"); !errors.Is(err, ErrClosed) {
 		t.Errorf("lock on closed = %v, want ErrClosed", err)
 	}
-	if err := nodes[0].Unlock("k"); !errors.Is(err, ErrClosed) {
+	if err := nodes[0].Unlock("k", 0); !errors.Is(err, ErrClosed) {
 		t.Errorf("unlock on closed = %v, want ErrClosed", err)
 	}
 }
@@ -208,7 +208,7 @@ func TestContendedMutualExclusionAcrossKeys(t *testing.T) {
 				for i := 0; i < iters; i++ {
 					k := (c + i*3 + int(ls.Self())) % keys
 					key := fmt.Sprintf("key-%d", k)
-					if err := ls.Lock(ctx, key); err != nil {
+					if _, err := ls.Lock(ctx, key); err != nil {
 						errs <- fmt.Errorf("node %v client %d: lock: %w", ls.Self(), c, err)
 						return
 					}
@@ -217,7 +217,7 @@ func TestContendedMutualExclusionAcrossKeys(t *testing.T) {
 					}
 					occupancy[k].Add(-1)
 					grants.Add(1)
-					if err := ls.Unlock(key); err != nil {
+					if err := ls.Unlock(key, 0); err != nil {
 						errs <- fmt.Errorf("node %v client %d: unlock: %w", ls.Self(), c, err)
 						return
 					}

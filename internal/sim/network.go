@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ocube"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // DelayFn draws the transmission delay for one message sent at virtual
@@ -89,6 +90,14 @@ type Config struct {
 	// CSTime is the simulated critical-section duration; granted nodes
 	// release after this long. Nil means release immediately.
 	CSTime func(rng *rand.Rand) time.Duration
+	// Session, when set, interposes the reliable session layer on every
+	// inter-node send: sequenced frames, retransmission with exponential
+	// backoff and seeded jitter, sliding-window dedup and acks — the
+	// deterministic driver of the same discipline transport.Session runs
+	// live (see session.go). Zero fields take the live defaults; RTO
+	// should exceed the delay model's round trip or healthy traffic
+	// retransmits spuriously.
+	Session *transport.SessionConfig
 	// Recorder, when set, tallies every sent message.
 	Recorder *trace.Recorder
 	// OnEffect, when set, observes every effect any node emits.
@@ -114,9 +123,14 @@ type Network struct {
 	fails    []FailingPeer  // peers[i] when it observes its own crash, else nil
 	recovers []RecoveringPeer
 	down     []bool
-	csAt     []bool // driver-side critical-section occupancy per node
+	csAt     []csHold // driver-side critical-section occupancy per node
 	rng      *rand.Rand
 	logging  bool
+
+	// Session-layer state (nil/zero unless Config.Session is set).
+	sess        map[sessPairKey]*simSessPair
+	sessUnacked int // data frames accepted but not yet acked
+	sessStats   transport.SessionStats
 
 	onGrant  func(ocube.Pos)
 	onAccept func(ocube.Pos)
@@ -132,11 +146,26 @@ type Network struct {
 	pendingOps     int // scheduled RequestCS / auto-release events
 	grants         int64
 	violations     int64 // simultaneous critical sections observed
-	regenerations  int64
-	staleTokens    int64 // stale-epoch token sightings (raced regenerations)
-	lostToFailed   int64 // messages dropped at failed destinations
-	lostInTransit  int64 // messages dropped by the delay model (Lost)
-	inCS           int
+	// Violations split by what a fence-checking application would see:
+	// overlapping holders with distinct fences are mutually orderable — a
+	// FencedResource rejects the stale side, so the overlap is fenced
+	// out; equal fences (always 0 = unfenced, for the baselines) are
+	// indistinguishable and the violation reaches the application.
+	violationsFenced  int64
+	violationsVisible int64
+	regenerations     int64
+	staleTokens       int64 // stale-epoch token sightings (raced regenerations)
+	lostToFailed      int64 // messages dropped at failed destinations
+	lostInTransit     int64 // messages dropped by the delay model (Lost)
+	inCS              int
+}
+
+// csHold is one node's driver-side critical-section occupancy plus the
+// fence of the grant it entered under (for overlap classification),
+// kept together so world construction pays one slice allocation.
+type csHold struct {
+	in    bool
+	fence uint64
 }
 
 // New builds the network with every peer in its algorithm's pristine
@@ -176,10 +205,27 @@ func New(cfg Config) (*Network, error) {
 		tokens:   make([]TokenPeer, n),
 		recovers: make([]RecoveringPeer, n),
 		down:     make([]bool, n),
-		csAt:     make([]bool, n),
+		csAt:     make([]csHold, n),
 		busy:     make([]bool, n),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		logging:  cfg.Logf != nil,
+	}
+	if cfg.Session != nil {
+		sc := *cfg.Session
+		if sc.Window <= 0 {
+			sc.Window = 64
+		}
+		if sc.RTO <= 0 {
+			sc.RTO = 50 * time.Millisecond
+		}
+		if sc.MaxRTO <= 0 {
+			sc.MaxRTO = time.Second
+		}
+		if sc.Jitter <= 0 {
+			sc.Jitter = 0.2
+		}
+		w.cfg.Session = &sc
+		w.sess = make(map[sessPairKey]*simSessPair)
 	}
 	for i, p := range peers {
 		w.nodes[i], _ = p.(*core.Node)
@@ -226,6 +272,16 @@ func (w *Network) Grants() int64 { return w.grants }
 // Violations returns how many grants overlapped another critical section —
 // zero in every safe run; the tie-break ablation makes this observable.
 func (w *Network) Violations() int64 { return w.violations }
+
+// ViolationsFenced returns the overlapping grants whose fences differed
+// from every concurrent holder's: a fence-checking application rejects
+// the stale side, so these never corrupt fenced state.
+func (w *Network) ViolationsFenced() int64 { return w.violationsFenced }
+
+// ViolationsVisible returns the overlapping grants indistinguishable by
+// fence (equal values — always 0 for the unfenced baselines): the
+// violations that reach even a fence-checking application.
+func (w *Network) ViolationsVisible() int64 { return w.violationsVisible }
 
 // Regenerations returns the number of token regenerations.
 func (w *Network) Regenerations() int64 { return w.regenerations }
@@ -397,9 +453,9 @@ func (w *Network) handle(ent heapEntry) {
 		if w.down[x] {
 			return
 		}
-		if w.csAt[x] {
+		if w.csAt[x].in {
 			w.inCS--
-			w.csAt[x] = false
+			w.csAt[x].in = false
 		}
 		w.down[x] = true
 		if w.fails != nil && w.fails[x] != nil {
@@ -441,12 +497,12 @@ func (w *Network) handle(ent heapEntry) {
 			}
 			return
 		}
-		if w.csAt[x] {
+		if w.csAt[x].in {
 			// Guarded like evFail: a baseline peer that failed in its CS
 			// and recovered with stale state lets ReleaseCS succeed even
 			// though the failure already settled the inCS account.
 			w.inCS--
-			w.csAt[x] = false
+			w.csAt[x].in = false
 		}
 		if w.logging {
 			w.logf("node %v releases CS", x)
@@ -485,7 +541,7 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 		case *core.StartTimer:
 			w.Eng.scheduleTimer(timerKey(x, e.Kind), e.Gen, e.Delay)
 		case *core.Grant:
-			w.enterCS(x)
+			w.enterCS(x, e.Fence)
 		case *core.TokenRegenerated:
 			w.regenerations++
 			if w.logging {
@@ -524,6 +580,10 @@ func (w *Network) apply(x ocube.Pos, effs []core.Effect) {
 // consumes the rng exactly like a single-instance run with the same
 // send sequence.
 func (w *Network) deliver(m Message) {
+	if w.sess != nil {
+		w.sessSend(core.Envelope{Instance: core.NoInstance, Msg: m})
+		return
+	}
 	d, ok := w.transmit(m)
 	if !ok {
 		return
@@ -537,6 +597,10 @@ func (w *Network) deliver(m Message) {
 func (w *Network) deliverEnv(env core.Envelope) {
 	if env.Instance == core.NoInstance {
 		w.deliver(env.Msg)
+		return
+	}
+	if w.sess != nil {
+		w.sessSend(env)
 		return
 	}
 	d, ok := w.transmit(env.Msg)
@@ -589,18 +653,34 @@ func (w *Network) OnGrant(fn func(ocube.Pos)) { w.onGrant = fn }
 // accepts and grants at one node pair up FIFO. Set it before running.
 func (w *Network) OnRequest(fn func(ocube.Pos)) { w.onAccept = fn }
 
-// enterCS accounts a grant and schedules the release.
-func (w *Network) enterCS(x ocube.Pos) {
+// enterCS accounts a grant and schedules the release. fence is the
+// grant's fencing token (core.Grant.Fence); an overlap is classified by
+// comparing it against the concurrent holders' fences — distinct values
+// are mutually orderable (a fence check rejects the stale side), equal
+// values reach the application.
+func (w *Network) enterCS(x ocube.Pos, fence uint64) {
 	w.grants++
 	if w.onGrant != nil {
 		w.onGrant(x)
 	}
 	w.inCS++
-	w.csAt[x] = true
+	w.csAt[x] = csHold{in: true, fence: fence}
 	if w.inCS > 1 {
 		w.violations++
+		visible := false
+		for y, h := range w.csAt {
+			if h.in && ocube.Pos(y) != x && h.fence == fence {
+				visible = true
+				break
+			}
+		}
+		if visible {
+			w.violationsVisible++
+		} else {
+			w.violationsFenced++
+		}
 		if w.logging {
-			w.logf("SAFETY VIOLATION: %d nodes in CS", w.inCS)
+			w.logf("SAFETY VIOLATION: %d nodes in CS (visible=%v)", w.inCS, visible)
 		}
 	}
 	var dur time.Duration
@@ -648,7 +728,7 @@ func (w *Network) record(m Message) {
 // incrementally (refreshBusy), so this is O(1) and cheap enough for
 // RunWhile to call before every event.
 func (w *Network) Busy() bool {
-	return w.inflight > 0 || w.pendingOps > 0 || w.busyN > 0
+	return w.inflight > 0 || w.pendingOps > 0 || w.busyN > 0 || w.sessUnacked > 0
 }
 
 // RunUntilQuiescent steps until no protocol activity remains or virtual

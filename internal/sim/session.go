@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+// This file is the simulator's driver of the PR-6 session layer — the
+// same retransmit+dedup+ack discipline transport.Session runs live, here
+// driven by the deterministic engine so LossyDelay and PartitionWindow
+// validate it end-to-end with byte-identical replays. Every inter-node
+// send becomes a sequenced data frame whose physical transmissions (and
+// acks) go through the configured delay model: loss hits frames, a
+// retransmission timer with exponential backoff and seeded jitter
+// repairs them, and the receiver's sliding window drops the duplicates
+// retransmission necessarily creates. Session state is modeled below the
+// crash line (a network-layer agent): it survives a node's fail-stop, so
+// a frame in flight towards a crashed node is retransmitted until the
+// node recovers — the sim analogue of reconnect-and-replay.
+//
+// Windowed backpressure is a live-path concern (state machines cannot
+// block); the sim driver validates the reliability half of the contract.
+
+// sessPairKey identifies a directed sender→receiver pair.
+type sessPairKey int64
+
+// simSessPair is the session state of one directed pair.
+type simSessPair struct {
+	nextSeq  uint64
+	unacked  map[uint64]core.Envelope
+	recvHigh uint64              // every seq ≤ recvHigh was delivered
+	recvSeen map[uint64]struct{} // delivered seqs above recvHigh
+}
+
+func (w *Network) sessPair(from, to ocube.Pos) *simSessPair {
+	key := sessPairKey(int64(from)*int64(w.n) + int64(to))
+	p := w.sess[key]
+	if p == nil {
+		p = &simSessPair{
+			unacked:  make(map[uint64]core.Envelope),
+			recvSeen: make(map[uint64]struct{}),
+		}
+		w.sess[key] = p
+	}
+	return p
+}
+
+// sessRTO returns the retransmission timeout for the given attempt:
+// configured RTO doubled per attempt, capped, plus seeded jitter.
+func (w *Network) sessRTO(attempts int) time.Duration {
+	cfg := w.cfg.Session
+	rto := cfg.RTO << uint(attempts)
+	if rto <= 0 || rto > cfg.MaxRTO {
+		rto = cfg.MaxRTO
+	}
+	if j := int64(float64(rto) * cfg.Jitter); j > 0 {
+		rto += time.Duration(w.rng.Int63n(j + 1))
+	}
+	return rto
+}
+
+// sessSend accepts one envelope into the directed pair's session: it is
+// counted busy until acknowledged, transmitted now and retransmitted
+// until the receiver's ack retires it.
+func (w *Network) sessSend(env core.Envelope) {
+	from, to := env.Msg.From, env.Msg.To
+	p := w.sessPair(from, to)
+	p.nextSeq++
+	seq := p.nextSeq
+	p.unacked[seq] = env
+	w.sessUnacked++
+	w.sessStats.Frames++
+	if env.Msg.Kind == core.KindToken {
+		// The logical token is in flight from first transmission until
+		// the accepted delivery, however many frames that takes.
+		w.inflightTokens++
+	}
+	w.sessTransmit(from, to, seq, env, 0)
+}
+
+// sessTransmit performs one physical transmission of frame seq and arms
+// its retransmission timer.
+func (w *Network) sessTransmit(from, to ocube.Pos, seq uint64, env core.Envelope, attempts int) {
+	d := w.cfg.Delay(w.rng, w.Eng.Now(), from, to)
+	w.record(env.Msg)
+	if d == Lost {
+		w.lostInTransit++
+		if w.logging {
+			w.logf("LOST in transit (session frame %d): %v", seq, env.Msg)
+		}
+	} else {
+		if w.logging {
+			w.logf("send frame %d %v (delay %v)", seq, env.Msg, d)
+		}
+		w.Eng.After(d, func() { w.sessDeliver(from, to, seq, env) })
+	}
+	rto := w.sessRTO(attempts)
+	w.Eng.After(rto, func() { w.sessRetry(from, to, seq, attempts) })
+}
+
+// sessRetry fires when frame seq's retransmission timeout expires; a
+// frame still unacked is sent again with doubled backoff.
+func (w *Network) sessRetry(from, to ocube.Pos, seq uint64, attempts int) {
+	p := w.sessPair(from, to)
+	env, ok := p.unacked[seq]
+	if !ok {
+		return // acked in the meantime
+	}
+	w.sessStats.AckTimeouts++
+	w.sessStats.Retransmits++
+	if w.logging {
+		w.logf("RETRANSMIT frame %d %v->%v (attempt %d)", seq, from, to, attempts+1)
+	}
+	w.sessTransmit(from, to, seq, env, attempts+1)
+}
+
+// sessDeliver lands one physical data frame at the receiver: duplicates
+// are dropped (and re-acked — the first ack evidently went missing), new
+// frames are delivered to the node and acked. A frame reaching a down
+// node is neither delivered nor acked: the sender's timer keeps
+// retransmitting until the node is back — the paper's channels never
+// lose, so the session keeps its promise across the crash.
+func (w *Network) sessDeliver(from, to ocube.Pos, seq uint64, env core.Envelope) {
+	if w.down[to] {
+		w.lostToFailed++
+		if w.logging {
+			w.logf("frame %d LOST at failed node: %v", seq, env.Msg)
+		}
+		return
+	}
+	p := w.sessPair(from, to)
+	dup := seq <= p.recvHigh
+	if !dup {
+		_, dup = p.recvSeen[seq]
+	}
+	if dup {
+		w.sessStats.DupDrops++
+		if w.logging {
+			w.logf("DUP frame %d dropped at %v", seq, to)
+		}
+		w.sessAckSend(from, to, seq)
+		return
+	}
+	p.recvSeen[seq] = struct{}{}
+	for {
+		if _, ok := p.recvSeen[p.recvHigh+1]; !ok {
+			break
+		}
+		delete(p.recvSeen, p.recvHigh+1)
+		p.recvHigh++
+	}
+	w.sessAckSend(from, to, seq)
+	if env.Msg.Kind == core.KindToken {
+		w.inflightTokens--
+	}
+	if env.Instance == core.NoInstance {
+		w.apply(to, w.peers[to].HandleMessage(env.Msg))
+	} else {
+		w.apply(to, w.insts[to].HandleEnvelope(env))
+	}
+	w.refreshBusy(to)
+}
+
+// sessAckSend transmits the ack for frame seq back to the sender. Acks
+// travel the same lossy channel (reverse direction) but are not protocol
+// messages: they are neither recorded nor counted in LostInTransit — a
+// lost ack surfaces as a retransmission and a duplicate drop instead.
+func (w *Network) sessAckSend(from, to ocube.Pos, seq uint64) {
+	d := w.cfg.Delay(w.rng, w.Eng.Now(), to, from)
+	if d == Lost {
+		if w.logging {
+			w.logf("ACK for frame %d %v->%v LOST", seq, to, from)
+		}
+		return
+	}
+	w.Eng.After(d, func() { w.sessAck(from, to, seq) })
+}
+
+// sessAck retires frame seq at the sender. Session state lives below the
+// crash line, so retirement proceeds even while the original sender node
+// is down.
+func (w *Network) sessAck(from, to ocube.Pos, seq uint64) {
+	p := w.sessPair(from, to)
+	if _, ok := p.unacked[seq]; !ok {
+		return // duplicate ack
+	}
+	delete(p.unacked, seq)
+	w.sessUnacked--
+}
+
+// SessionStats returns the session layer's reliability counters; zero
+// when Config.Session is nil.
+func (w *Network) SessionStats() transport.SessionStats { return w.sessStats }

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+// Session-driver tests: with Config.Session set, every send is a
+// sequenced frame repaired by retransmission, so the protocol must
+// survive message loss WITHOUT its failure machinery — the session
+// restores the paper's Section 2 reliable-channel assumption. These runs
+// use non-FT nodes precisely to prove the session alone closes the gap.
+
+// sessCfg is a session tuned to the test networks' fixed δ delays: RTO
+// beyond the round trip so healthy traffic never retransmits spuriously.
+func sessCfg() *transport.SessionConfig {
+	return &transport.SessionConfig{RTO: 5 * d, MaxRTO: 50 * d}
+}
+
+func TestSessionRepairsLossWithoutFT(t *testing.T) {
+	w, err := New(Config{
+		P:       2,
+		Delay:   LossyDelay(0.2, FixedDelay(d)),
+		Session: sessCfg(),
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node asks a few times; a fifth of all frames are lost, yet
+	// every request must be served — no FT, no timeouts, only the session.
+	reqs := 0
+	for round := 0; round < 4; round++ {
+		for x := ocube.Pos(0); x < 4; x++ {
+			w.RequestCS(x, time.Duration(round*40+int(x))*d)
+			reqs++
+		}
+	}
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not quiesce under loss with sessions on")
+	}
+	if got := w.Grants(); got != int64(reqs) {
+		t.Errorf("grants = %d, want %d", got, reqs)
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+	st := w.SessionStats()
+	if w.LostInTransit() == 0 {
+		t.Error("loss model dropped nothing; test exercises no repair")
+	}
+	if st.Retransmits == 0 {
+		t.Errorf("frames were lost but nothing retransmitted: %+v", st)
+	}
+	if st.Frames == 0 {
+		t.Error("no frames counted")
+	}
+}
+
+// TestSessionDeterminism pins replayability: the retransmission timers,
+// jitter draws, and ack losses all come from the seeded engine, so two
+// runs of the same seed must agree on every counter.
+func TestSessionDeterminism(t *testing.T) {
+	run := func() (int64, int64, transport.SessionStats) {
+		w, err := New(Config{
+			P:       2,
+			Delay:   LossyDelay(0.3, UniformDelay(d/2, d)),
+			Session: sessCfg(),
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			w.RequestCS(ocube.Pos(i%4), time.Duration(i*17)*d)
+		}
+		if !w.RunUntilQuiescent(time.Hour) {
+			t.Fatal("did not quiesce")
+		}
+		return w.Grants(), w.LostInTransit(), w.SessionStats()
+	}
+	g1, l1, s1 := run()
+	g2, l2, s2 := run()
+	if g1 != g2 || l1 != l2 || s1 != s2 {
+		t.Errorf("same seed diverged: grants %d/%d lost %d/%d stats %+v / %+v",
+			g1, g2, l1, l2, s1, s2)
+	}
+}
+
+// TestZeroLengthPartitionWindow: a [t, t) window cuts nothing — the
+// degenerate bound the loss model must treat as empty, not as forever.
+func TestZeroLengthPartitionWindow(t *testing.T) {
+	side := func(x ocube.Pos) bool { return x >= 2 }
+	w, err := New(Config{
+		P:     2,
+		Delay: PartitionWindow(10*d, 10*d, side, FixedDelay(d)),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := ocube.Pos(0); x < 4; x++ {
+		w.RequestCS(x, time.Duration(x)*20*d) // straddles t=10ms
+	}
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not quiesce")
+	}
+	if w.LostInTransit() != 0 {
+		t.Errorf("zero-length window lost %d messages, want 0", w.LostInTransit())
+	}
+	if w.Grants() != 4 {
+		t.Errorf("grants = %d, want 4", w.Grants())
+	}
+}
+
+// TestBackToBackPartitions: two adjacent windows [a,b) and [b,c) cutting
+// different halves — the seam at b must neither double-drop nor leak, and
+// with sessions on the protocol rides out both outages.
+func TestBackToBackPartitions(t *testing.T) {
+	highBit := func(x ocube.Pos) bool { return x >= 2 }
+	lowBit := func(x ocube.Pos) bool { return x%2 == 1 }
+	base := FixedDelay(d)
+	w, err := New(Config{
+		P:       2,
+		Delay:   PartitionWindow(20*d, 60*d, highBit, PartitionWindow(60*d, 100*d, lowBit, base)),
+		Session: sessCfg(),
+		Seed:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		w.RequestCS(ocube.Pos(i%4), time.Duration(i*11)*d) // spans both windows
+	}
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not quiesce across back-to-back partitions")
+	}
+	// Requests overlapping a node's stalled earlier wish are rejected by
+	// the driver (impatient re-requests), so not all 12 turn into grants;
+	// what matters at the seam is that both windows actually dropped
+	// traffic, everything accepted was served, and nothing violated.
+	if w.LostInTransit() == 0 {
+		t.Error("partitions dropped nothing; seam test exercised no loss")
+	}
+	if got := w.Grants(); got < 4 {
+		t.Errorf("grants = %d, want at least one per node", got)
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+}
+
+// TestTotalLossOneDirectedLink black-holes one direction of one link for
+// a long window: the session must stall (no grant sneaks through, nothing
+// violates) and then recover once the link heals — stall-not-violate.
+func TestTotalLossOneDirectedLink(t *testing.T) {
+	const heal = 200 * d
+	dead := func(rng *rand.Rand, now time.Duration, from, to ocube.Pos) time.Duration {
+		if from == 1 && to == 0 && now < heal {
+			return Lost
+		}
+		return d
+	}
+	w, err := New(Config{P: 1, Delay: dead, Session: sessCfg(), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1's request must cross the dead 1→0 link.
+	w.RequestCS(1, 0)
+	w.Eng.RunUntil(heal / 2)
+	if w.Grants() != 0 {
+		t.Fatalf("grant crossed a 100%% lossy link: grants = %d", w.Grants())
+	}
+	if w.Violations() != 0 {
+		t.Fatalf("violations while stalled = %d", w.Violations())
+	}
+	if !w.RunUntilQuiescent(time.Hour) {
+		t.Fatal("did not recover after link healed")
+	}
+	if w.Grants() != 1 {
+		t.Errorf("grants after heal = %d, want 1", w.Grants())
+	}
+	st := w.SessionStats()
+	if st.Retransmits == 0 {
+		t.Errorf("no retransmits across a healed black-hole: %+v", st)
+	}
+	if w.Violations() != 0 {
+		t.Errorf("violations = %d", w.Violations())
+	}
+}

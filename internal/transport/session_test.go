@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ocube"
+)
+
+// Session-layer tests: the reliable channel the paper assumes (Section 2)
+// must come out of a lossy substrate via retransmission and dedup, and
+// the SessionStats counters must account for the repair work.
+
+func sessPairOver(t *testing.T, mesh *SessMesh, cfg SessionConfig) (*Session, *Session) {
+	t.Helper()
+	a := NewSession(0, mesh.Endpoint(0), cfg)
+	b := NewSession(1, mesh.Endpoint(1), cfg)
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+		mesh.Close()
+	})
+	return a, b
+}
+
+func payload(i int) []core.Envelope {
+	return []core.Envelope{{Instance: uint64(i + 1), Msg: core.Message{Kind: core.KindRequest, From: 0, To: 1}}}
+}
+
+// collect drains n batches from s, failing the test on timeout, and
+// returns the Instance tags seen (the per-batch identity in these tests).
+func collect(t *testing.T, s *Session, n int) map[uint64]int {
+	t.Helper()
+	got := make(map[uint64]int)
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case batch, ok := <-s.RecvBatch():
+			if !ok {
+				t.Fatalf("receive channel closed after %d of %d batches", i, n)
+			}
+			for _, env := range batch {
+				got[env.Instance]++
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d batches", i, n)
+		}
+	}
+	return got
+}
+
+// TestSessionExactlyOnceUnderLoss drops every third data frame and checks
+// every batch still arrives exactly once, paid for in retransmissions.
+func TestSessionExactlyOnceUnderLoss(t *testing.T) {
+	mesh, err := NewSessMesh(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropMu sync.Mutex
+	nData := 0
+	mesh.Drop = func(to ocube.Pos, f SessFrame) bool {
+		if f.Seq == 0 {
+			return false // acks pass
+		}
+		dropMu.Lock()
+		defer dropMu.Unlock()
+		nData++
+		return nData%3 == 0
+	}
+	a, b := sessPairOver(t, mesh, SessionConfig{RTO: 5 * time.Millisecond, MaxRTO: 50 * time.Millisecond})
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := a.SendBatch(1, payload(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	got := collect(t, b, n)
+	for i := 0; i < n; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Errorf("batch %d delivered %d times, want exactly once", i, got[uint64(i+1)])
+		}
+	}
+	st := a.Stats()
+	if st.Frames != n {
+		t.Errorf("Frames = %d, want %d", st.Frames, n)
+	}
+	if st.Retransmits == 0 || st.AckTimeouts == 0 {
+		t.Errorf("loss of a third of the frames repaired without retransmits: %+v", st)
+	}
+}
+
+// TestSessionAckLossCausesDupDrops drops every second pure ack: the
+// sender keeps retransmitting already-delivered frames, and the receiver
+// must discard those duplicates (counting them) rather than re-deliver.
+func TestSessionAckLossCausesDupDrops(t *testing.T) {
+	mesh, err := NewSessMesh(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropMu sync.Mutex
+	nAcks := 0
+	mesh.Drop = func(to ocube.Pos, f SessFrame) bool {
+		if f.Seq != 0 {
+			return false // data passes
+		}
+		dropMu.Lock()
+		defer dropMu.Unlock()
+		nAcks++
+		return nAcks%2 == 1
+	}
+	a, b := sessPairOver(t, mesh, SessionConfig{RTO: 5 * time.Millisecond, MaxRTO: 50 * time.Millisecond})
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := a.SendBatch(1, payload(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	got := collect(t, b, n)
+	for i := 0; i < n; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Errorf("batch %d delivered %d times, want exactly once", i, got[uint64(i+1)])
+		}
+	}
+	// The sender must eventually retire every frame (each retransmission
+	// re-triggers an ack, and every second ack survives).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := b.Stats()
+		if st.DupDrops > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no duplicate drops recorded despite ack loss: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSessionWindowBackpressure pins the bounded in-flight window: with
+// Window=2 and the link black-holing data frames, the third SendBatch
+// blocks, and unblocks once the link heals and acks free a slot.
+func TestSessionWindowBackpressure(t *testing.T) {
+	mesh, err := NewSessMesh(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropMu sync.Mutex
+	blackhole := true
+	mesh.Drop = func(to ocube.Pos, f SessFrame) bool {
+		dropMu.Lock()
+		defer dropMu.Unlock()
+		return blackhole && f.Seq != 0
+	}
+	a, b := sessPairOver(t, mesh, SessionConfig{Window: 2, RTO: 5 * time.Millisecond, MaxRTO: 20 * time.Millisecond})
+
+	if err := a.SendBatch(1, payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendBatch(1, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	third := make(chan error, 1)
+	go func() { third <- a.SendBatch(1, payload(2)) }()
+	select {
+	case err := <-third:
+		t.Fatalf("third send returned %v with a full window, want block", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	dropMu.Lock()
+	blackhole = false
+	dropMu.Unlock()
+	select {
+	case err := <-third:
+		if err != nil {
+			t.Fatalf("third send after heal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("third send still blocked after link healed")
+	}
+	got := collect(t, b, 3)
+	for i := 0; i < 3; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Errorf("batch %d delivered %d times, want exactly once", i, got[uint64(i+1)])
+		}
+	}
+}
+
+// TestSessionClosedSend pins the shutdown contract: SendBatch on a closed
+// session reports ErrClosed instead of blocking on a window slot.
+func TestSessionClosedSend(t *testing.T) {
+	mesh, err := NewSessMesh(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSession(0, mesh.Endpoint(0), SessionConfig{})
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendBatch(1, payload(0)); err != ErrClosed {
+		t.Errorf("send on closed session = %v, want ErrClosed", err)
+	}
+	mesh.Close()
+}
+
+// TestSessTCPRoundTrip runs the session over real loopback sockets: the
+// reliable BatchTransport for multi-process deployments.
+func TestSessTCPRoundTrip(t *testing.T) {
+	// Reserve two loopback ports (same bootstrap as tcpPair).
+	addrs := map[ocube.Pos]string{}
+	for i := ocube.Pos(0); i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	l0, err := NewSessTCP(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := NewSessTCP(1, addrs)
+	if err != nil {
+		l0.Close()
+		t.Fatal(err)
+	}
+
+	a := NewSession(0, l0, SessionConfig{RTO: 20 * time.Millisecond})
+	b := NewSession(1, l1, SessionConfig{RTO: 20 * time.Millisecond})
+	defer a.Close()
+	defer b.Close()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := a.SendBatch(1, payload(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	got := collect(t, b, n)
+	for i := 0; i < n; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Errorf("batch %d delivered %d times, want exactly once", i, got[uint64(i+1)])
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/lockspace"
+	"repro/internal/metrics"
 	"repro/internal/ocube"
 	"repro/internal/transport"
 )
@@ -58,7 +59,8 @@ import (
 type Option func(*options)
 
 type options struct {
-	node core.Config
+	node  core.Config
+	lease time.Duration
 }
 
 // WithFaultTolerance enables the failure-handling layer (Section 5 of the
@@ -80,6 +82,18 @@ func WithFaultTolerance(delta, csEstimate, slack time.Duration) Option {
 // provided for experimentation.
 func WithPolicy(p core.Policy) Option {
 	return func(o *options) { o.node.Policy = p }
+}
+
+// WithLeaseTTL bounds how long a lockspace hold stays valid without
+// renewal (Lockspace clusters only; Cluster ignores it). A holder that
+// neither Unlocks nor Keepalives within ttl has its hold reclaimed and
+// the key re-granted to the next waiter; the expired holder's later
+// Unlock/Keepalive reports lockspace.ErrLeaseExpired, and its fence is
+// stale at every FencedResource a newer holder has touched. Combine with
+// WithFaultTolerance so a crashed *node* (not just a silent client) also
+// releases its keys.
+func WithLeaseTTL(ttl time.Duration) Option {
+	return func(o *options) { o.lease = ttl }
 }
 
 // Cluster is an in-process group of 2^p nodes sharing one mutual
@@ -168,6 +182,12 @@ type Mutex struct {
 // right to the critical section) or ctx is done.
 func (m *Mutex) Lock(ctx context.Context) error { return m.node.Lock(ctx) }
 
+// LockFenced is Lock returning the grant's fencing token: strictly
+// increasing across the grants of one token lineage, with a regenerated
+// token outranking any copy it replaces, so fence-comparing resources
+// reject accesses from a holder whose grant is stale.
+func (m *Mutex) LockFenced(ctx context.Context) (uint64, error) { return m.node.LockFenced(ctx) }
+
 // Unlock releases the critical section, returning the token to its
 // lender or keeping it if this node became the tree root.
 func (m *Mutex) Unlock() error { return m.node.Unlock() }
@@ -203,7 +223,11 @@ func NewLockspaceCluster(n int, opts ...Option) (*LockspaceCluster, error) {
 		cfg := o.node
 		cfg.Self = ocube.Pos(i)
 		cfg.P = p
-		node, err := lockspace.New(lockspace.Config{Node: cfg, Transport: mesh.Endpoint(ocube.Pos(i))})
+		node, err := lockspace.New(lockspace.Config{
+			Node:      cfg,
+			Transport: mesh.Endpoint(ocube.Pos(i)),
+			LeaseTTL:  o.lease,
+		})
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -245,13 +269,64 @@ type Lockspace struct {
 	node *lockspace.Lockspace
 }
 
-// Lock blocks until this node holds key's lock or ctx is done. On
-// cancellation after the request was issued, the eventual grant is
-// released immediately.
-func (l *Lockspace) Lock(ctx context.Context, key string) error { return l.node.Lock(ctx, key) }
+// Lock blocks until this node holds key's lock or ctx is done, and
+// returns the hold's fencing token: strictly increasing per key across
+// re-grants, so a resource that remembers the highest fence it has seen
+// (see FencedResource) rejects writes from any holder whose lock has
+// since expired or been re-granted. On cancellation the caller leaves
+// the wait queue; a grant that raced the cancellation is released
+// immediately.
+func (l *Lockspace) Lock(ctx context.Context, key string) (uint64, error) {
+	return l.node.Lock(ctx, key)
+}
 
-// Unlock releases this node's hold on key's lock.
-func (l *Lockspace) Unlock(key string) error { return l.node.Unlock(key) }
+// Unlock releases the hold on key that fence names (the value Lock
+// returned; 0 releases whatever hold is current). It reports
+// lockspace.ErrLeaseExpired when that hold already lapsed and was
+// reclaimed.
+func (l *Lockspace) Unlock(key string, fence uint64) error { return l.node.Unlock(key, fence) }
+
+// Keepalive renews the lease on the hold that fence names, postponing
+// its expiry by the cluster's WithLeaseTTL. Holders doing long critical
+// sections heartbeat with it; a holder that stops heartbeating loses the
+// key after one TTL.
+func (l *Lockspace) Keepalive(key string, fence uint64) error { return l.node.Keepalive(key, fence) }
+
+// ErrStaleFence is returned by FencedResource.Access for a fence below
+// the resource's high-water mark: the caller's lock expired or was
+// re-granted after the access began, and a newer holder got here first.
+var ErrStaleFence = errors.New("opencubemx: stale fence")
+
+// FencedResource is a test helper modeling a storage system that honors
+// fencing tokens: each access must present the fence of a current lock
+// hold (Lock/LockFenced's return value), and any access under a fence
+// below the highest one the resource has admitted for that key is
+// rejected. It is how an application makes a lapsed lease or an
+// out-of-model duplicate token harmless — the stale holder's writes
+// bounce off the resource even though it still believes it holds the
+// lock. Safe for concurrent use; the zero value is not ready, use
+// NewFencedResource.
+type FencedResource struct {
+	gate *metrics.FenceGate
+}
+
+// NewFencedResource builds an empty fenced resource.
+func NewFencedResource() *FencedResource {
+	return &FencedResource{gate: &metrics.FenceGate{}}
+}
+
+// Access admits one access to key under fence, raising the key's
+// high-water mark; it returns ErrStaleFence for a fence below the mark
+// (or a zero fence — unfenced access is never admitted).
+func (r *FencedResource) Access(key string, fence uint64) error {
+	if !r.gate.Admit(key, fence) {
+		return fmt.Errorf("%w: key %q fence %d", ErrStaleFence, key, fence)
+	}
+	return nil
+}
+
+// Rejected returns how many accesses were refused as stale.
+func (r *FencedResource) Rejected() int64 { return r.gate.Rejected() }
 
 // ErrBadMembership reports an invalid TCP membership table.
 var ErrBadMembership = errors.New("opencubemx: membership size is not a power of two")

@@ -252,12 +252,16 @@ func TestLockspaceClusterLive(t *testing.T) {
 			for k := 0; k < 3; k++ {
 				idx := (id + k) % 2
 				key := fmt.Sprintf("key-%d", idx)
-				if err := ls.Lock(ctx, key); err != nil {
+				fence, err := ls.Lock(ctx, key)
+				if err != nil {
 					t.Errorf("node %d: lock %s: %v", id, key, err)
 					return
 				}
+				if fence == 0 {
+					t.Errorf("node %d: lock %s: zero fence", id, key)
+				}
 				counts[idx]++ // protected by key's distributed mutex
-				if err := ls.Unlock(key); err != nil {
+				if err := ls.Unlock(key, fence); err != nil {
 					t.Errorf("node %d: unlock %s: %v", id, key, err)
 					return
 				}
