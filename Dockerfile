@@ -1,0 +1,11 @@
+# Build the chaos rig's node binary. Used by docker-compose.yml (§E12):
+# one container per cluster member, SIGKILL-able at will.
+FROM golang:1.22-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/ocmxchaos ./cmd/ocmxchaos
+
+FROM alpine:3.19
+COPY --from=build /out/ocmxchaos /usr/local/bin/ocmxchaos
+ENTRYPOINT ["ocmxchaos"]

@@ -6,7 +6,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/harness"
 )
 
@@ -90,6 +92,43 @@ func measure(fn func() (events int64, metric float64, err error)) (benchResult, 
 		res.EventsPerSec = float64(events) * float64(r.N) / secs
 	}
 	return res, nil
+}
+
+// chaosSmoke runs one short strict chaos episode (4-node live cluster,
+// two kills, one partition, zombie + burst from the generated plan) and
+// folds its wall-clock recovery numbers into a benchResult. Unlike the
+// simulation entries the wall time here includes real sleeps (lease
+// TTLs, restart downtime), so ns_per_op tracks recovery latency, not
+// engine speed; events_per_sec is the live cluster's grant rate through
+// the faults.
+func chaosSmoke(seed int64) (benchResult, error) {
+	res, err := chaos.Run(chaos.Config{
+		P:        2,
+		Seed:     seed,
+		Duration: 4 * time.Second,
+		Keys:     16,
+		LeaseTTL: 200 * time.Millisecond,
+		Kills:    2,
+		Strict:   true,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	if res.Err != nil {
+		return benchResult{}, res.Err
+	}
+	grants := res.Totals.Grants
+	out := benchResult{
+		Iterations:   1,
+		NsPerOp:      res.Wall.Nanoseconds(),
+		EventsPerOp:  grants,
+		MsgsMetric:   float64(res.Totals.MaxReclaim.Nanoseconds()) / float64(time.Millisecond),
+		MsgsMetricIs: "max token-reclaim latency (ms)",
+	}
+	if s := res.Wall.Seconds(); s > 0 {
+		out.EventsPerSec = float64(grants) / s
+	}
+	return out, nil
 }
 
 // benchJSON runs the suite and writes BENCH_<label>.json.
@@ -235,6 +274,22 @@ func benchJSON(label string, seed int64) error {
 		out.Experiments[s.name] = res
 		fmt.Fprintf(os.Stderr, " %12d ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
 	}
+	// chaos_smoke is new in PR 7: one seeded in-process chaos run of the
+	// live cluster (internal/chaos — kills, partitions, a zombie hold, a
+	// drop burst, property suite inline). The run is wall-clock-bound by
+	// construction, so it bypasses testing.Benchmark: ns_per_op is the
+	// single run's wall time, events_per_op its grant count, and the
+	// metric is the worst token-reclaim latency. It runs strict — a
+	// property failure or a coverage hole (a sometimes/reachable
+	// assertion never witnessed) errors the whole bench.
+	fmt.Fprintf(os.Stderr, "bench %-22s ...", "chaos_smoke")
+	res, err := chaosSmoke(seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr)
+		return fmt.Errorf("chaos_smoke: %w", err)
+	}
+	out.Experiments["chaos_smoke"] = res
+	fmt.Fprintf(os.Stderr, " %12d ns/op %8d grants\n", res.NsPerOp, res.EventsPerOp)
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err

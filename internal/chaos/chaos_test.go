@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/props"
+)
+
+// The TestLiveStorm_* tables port the 15 pinned storm seeds of
+// internal/sim/storm_test.go — the fail/recover episodes that once
+// stalled before the §7 search-storm fix — from the simulated engine to
+// the live cluster, each seed reduced to its scenario shape: a holder
+// kill, a double kill, or a kill landing during the recovery search.
+// The shapes run as scripted fault schedules through the in-process
+// chaos driver with the full property suite attached, so the old
+// regression corpus now also checks fences, accounting, and the token
+// census under the race detector.
+
+// stormConfig is the shared live-storm shape: a small hot cluster so
+// every seed finishes in a few seconds while keys stay contended.
+func stormConfig(seed int64) Config {
+	return Config{
+		P:              2, // N=4
+		Seed:           seed,
+		Duration:       2500 * time.Millisecond,
+		Keys:           8,
+		ZipfS:          1.2,
+		ClientsPerNode: 2,
+		LeaseTTL:       200 * time.Millisecond,
+		Patience:       10 * time.Second,
+	}
+}
+
+// runStorm executes one scripted scenario and fails the test on any
+// always-assertion failure, returning the result for shape-specific
+// coverage checks.
+func runStorm(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run setup: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("property failure: %v\n%s", res.Err, props.Format(res.Report))
+	}
+	if !res.Drained {
+		t.Fatalf("cluster failed to quiesce after the storm\n%s", props.Format(res.Report))
+	}
+	return res
+}
+
+// reached reports whether the assertion with the given id was reached.
+func reached(rep []props.Assertion, id string) bool {
+	for _, a := range rep {
+		if a.ID == id {
+			return !a.Unreached()
+		}
+	}
+	return false
+}
+
+func requireReached(t *testing.T, res *Result, ids ...string) {
+	t.Helper()
+	for _, id := range ids {
+		if !reached(res.Report, id) {
+			t.Errorf("coverage %q not reached\n%s", id, props.Format(res.Report))
+			return
+		}
+	}
+}
+
+// victims derives the seed's victim node and a distinct second node,
+// the same way the sim storms derived their crash schedule: from the
+// seed's own stream.
+func victims(seed int64, n int) (int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	a := rng.Intn(n)
+	b := (a + 1 + rng.Intn(n-1)) % n
+	return a, b
+}
+
+// TestLiveStorm_HolderKill: seeds whose stall shape was a single crash
+// of the token holder. Live form: grab the hottest key through the
+// victim, kill it mid-hold, and require the kill-reclaim coverage.
+func TestLiveStorm_HolderKill(t *testing.T) {
+	seeds := []int64{350, 309, 83, 328, 263}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := stormConfig(seed)
+			v, _ := victims(seed, 1<<cfg.P)
+			cfg.Faults = []Fault{
+				{At: 700 * time.Millisecond, Kind: FaultKillHolder, Node: v, Down: 500 * time.Millisecond},
+			}
+			res := runStorm(t, cfg)
+			requireReached(t, res, props.PropKillWhileHolding, props.PropReclaimAfterKill)
+			if res.Kills != 1 {
+				t.Fatalf("kills = %d, want 1", res.Kills)
+			}
+		})
+	}
+}
+
+// TestLiveStorm_DoubleKill: seeds whose stall shape was two crashes
+// with overlapping downtime. Live form: kill the holder, then a second
+// node while the first is still down.
+func TestLiveStorm_DoubleKill(t *testing.T) {
+	seeds := []int64{158, 370, 64, 310, 25}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := stormConfig(seed)
+			v, w := victims(seed, 1<<cfg.P)
+			cfg.Faults = []Fault{
+				{At: 700 * time.Millisecond, Kind: FaultKillHolder, Node: v, Down: 800 * time.Millisecond},
+				{At: 1000 * time.Millisecond, Kind: FaultKill, Node: w, Down: 500 * time.Millisecond},
+			}
+			res := runStorm(t, cfg)
+			requireReached(t, res, props.PropKillWhileHolding, props.PropReclaimAfterKill)
+			if res.Kills != 2 {
+				t.Fatalf("kills = %d, want 2", res.Kills)
+			}
+		})
+	}
+}
+
+// TestLiveStorm_KillDuringSearch: seeds whose stall shape was a crash
+// landing while the recovery search for an earlier crash was still in
+// flight. Live form: kill the holder, then kill a second node 150ms
+// later — inside the regeneration window of the first.
+func TestLiveStorm_KillDuringSearch(t *testing.T) {
+	seeds := []int64{389, 139, 204, 162, 272}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(seedName(seed), func(t *testing.T) {
+			t.Parallel()
+			cfg := stormConfig(seed)
+			v, w := victims(seed, 1<<cfg.P)
+			cfg.Faults = []Fault{
+				{At: 700 * time.Millisecond, Kind: FaultKillHolder, Node: v, Down: 700 * time.Millisecond},
+				{At: 850 * time.Millisecond, Kind: FaultKill, Node: w, Down: 700 * time.Millisecond},
+			}
+			res := runStorm(t, cfg)
+			requireReached(t, res, props.PropKillWhileHolding, props.PropReclaimAfterKill)
+		})
+	}
+}
+
+func seedName(seed int64) string {
+	return fmt.Sprintf("seed%d", seed)
+}
+
+// TestChaosSmoke is the in-package slice of the CI chaos-smoke job: a
+// seeded generated plan (kills, a partition, a zombie, a burst) over a
+// few seconds, requiring every always assertion and the three headline
+// coverage points.
+func TestChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos smoke needs a few seconds of wall clock")
+	}
+	cfg := Config{
+		P:        2,
+		Seed:     42,
+		Duration: 5 * time.Second,
+		Keys:     16,
+		ZipfS:    1.1,
+		LeaseTTL: 250 * time.Millisecond,
+		Kills:    2,
+	}
+	cfg.Log = t.Logf
+	res := runStorm(t, cfg)
+	requireReached(t, res,
+		props.PropKillWhileHolding,
+		props.PropReclaimAfterLease,
+		props.PropPartitionHeal,
+	)
+	if res.Totals.Grants == 0 {
+		t.Fatal("smoke run made no grants")
+	}
+	t.Logf("smoke: %d grants, %d reclaims (max %v), coverage %.0f%%\n%s",
+		res.Totals.Grants, res.Totals.Reclaims, res.Totals.MaxReclaim,
+		100*res.Coverage, props.Format(res.Report))
+}

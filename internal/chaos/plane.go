@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+// plane is the fault plane: a deterministic SessMesh.Drop hook that
+// implements directed-link partitions and cluster-wide drop bursts.
+// Partitions cut BOTH directions of a pair (a real network cut), and
+// they cut acks as well as data — a partitioned node's retransmissions
+// pile up against its window, which is exactly the backpressure a
+// TCP-backed deployment would feel.
+type plane struct {
+	mu sync.Mutex
+	// cuts holds every severed directed link as {from,to}.
+	cuts map[[2]int]int
+	// burstUntil ends the current drop burst; flip alternates so a burst
+	// drops every second data frame (retransmission must fill the gaps).
+	burstUntil time.Time
+	flip       bool
+}
+
+func newPlane() *plane {
+	return &plane{cuts: make(map[[2]int]int)}
+}
+
+// drop is the SessMesh.Drop hook. It must be cheap: it runs under the
+// mesh lock on every frame.
+func (p *plane) drop(to ocube.Pos, f transport.SessFrame) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cuts[[2]int{int(f.From), int(to)}] > 0 {
+		return true
+	}
+	if f.Seq != 0 && time.Now().Before(p.burstUntil) {
+		p.flip = !p.flip
+		return p.flip
+	}
+	return false
+}
+
+// cut severs both directions between a and b. Cuts are counted, so
+// overlapping partitions over one link heal only when every window
+// covering it has healed.
+func (p *plane) cut(a, b int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cuts[[2]int{a, b}]++
+	p.cuts[[2]int{b, a}]++
+}
+
+// heal undoes one cut of the pair.
+func (p *plane) heal(a, b int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, k := range [][2]int{{a, b}, {b, a}} {
+		if p.cuts[k] > 0 {
+			p.cuts[k]--
+		}
+		if p.cuts[k] == 0 {
+			delete(p.cuts, k)
+		}
+	}
+}
+
+// burst starts (or extends) a cluster-wide drop burst for d.
+func (p *plane) burst(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if until := time.Now().Add(d); until.After(p.burstUntil) {
+		p.burstUntil = until
+	}
+}
+
+// clear heals every partition and ends any burst (the drain phase).
+func (p *plane) clear() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cuts = make(map[[2]int]int)
+	p.burstUntil = time.Time{}
+}

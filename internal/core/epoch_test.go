@@ -65,11 +65,14 @@ func TestRegenerationStampsEpoch(t *testing.T) {
 	if len(rg) != 1 {
 		t.Fatalf("regenerations = %+v, want exactly one", rg)
 	}
-	if rg[0].Epoch != 1 {
-		t.Errorf("regenerated epoch = %d, want 1", rg[0].Epoch)
+	// Node 0 in a P=1 cube mints in the ≡0 (mod 2) residue class, so its
+	// first regeneration stamps epoch 2 — node-unique minting (see
+	// bumpEpoch) keeps concurrent regenerations from colliding.
+	if rg[0].Epoch != 2 {
+		t.Errorf("regenerated epoch = %d, want 2", rg[0].Epoch)
 	}
-	if n.Epoch() != 1 {
-		t.Errorf("node epoch = %d, want 1", n.Epoch())
+	if n.Epoch() != 2 {
+		t.Errorf("node epoch = %d, want 2", n.Epoch())
 	}
 	if !n.TokenHere() {
 		t.Error("regenerating guardian must hold the replacement token")
@@ -87,8 +90,8 @@ func TestStaleTokenSightingAfterRacedRegeneration(t *testing.T) {
 	if len(st) != 1 {
 		t.Fatalf("stale sightings = %+v, want exactly one", st)
 	}
-	if st[0].Epoch != 0 || st[0].Known != 1 {
-		t.Errorf("sighting = epoch %d known %d, want 0 and 1", st[0].Epoch, st[0].Known)
+	if st[0].Epoch != 0 || st[0].Known != n.Epoch() {
+		t.Errorf("sighting = epoch %d known %d, want 0 and %d", st[0].Epoch, st[0].Known, n.Epoch())
 	}
 	// Pure observability: the message is still handled exactly as before.
 	if !n.TokenHere() {
@@ -96,7 +99,7 @@ func TestStaleTokenSightingAfterRacedRegeneration(t *testing.T) {
 	}
 	// A token of the current generation is not a sighting.
 	effs = n.HandleMessage(Message{Kind: KindToken, From: 1, To: 0,
-		Lender: ocube.None, Source: 1, Seq: seqStride, Epoch: 1})
+		Lender: ocube.None, Source: 1, Seq: seqStride, Epoch: n.Epoch()})
 	if got := stales(effs); len(got) != 0 {
 		t.Errorf("current-epoch token reported stale: %+v", got)
 	}

@@ -325,8 +325,24 @@ func (n *Node) becomeRootWithToken(reason string) {
 // bumpEpoch advances the token generation for a regeneration: the
 // replacement carries the new epoch, so any survivor of the replaced
 // generation is recognizable wherever the new epoch has been seen.
+//
+// Minting is node-unique: the new epoch is the smallest value above the
+// local high-water mark in this node's residue class modulo N. Two
+// nodes regenerating concurrently from the same observed epoch (a
+// double crash, or a partitioned node regenerating while the healthy
+// side already has) therefore can never mint the SAME epoch — and since
+// each regeneration restarts the fence counter, equal epochs would mean
+// two tokens handing out colliding fences, which no fence-checking
+// resource can order. (The live chaos rig caught exactly that under a
+// double kill.) Epochs stay strictly increasing; they just stride.
 func (n *Node) bumpEpoch() {
-	n.epoch++
+	nn := uint32(1) << n.cfg.P
+	self := uint32(n.cfg.Self)
+	e := n.epoch + 1
+	if r := e % nn; r != self {
+		e += (nn + self - r) % nn
+	}
+	n.epoch = e
 	n.tokenEpoch = n.epoch
 	// A regeneration opens a fresh lineage: its grant counter restarts,
 	// and because the fence orders by epoch first, every grant of the new

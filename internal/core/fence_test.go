@@ -109,9 +109,11 @@ func TestRegeneratedTokenOutranksReplacedCopy(t *testing.T) {
 	if len(gs) != 1 {
 		t.Fatalf("grants = %+v, want one", gs)
 	}
-	want := uint64(1)<<32 | 1
+	// Node 0 in a P=1 cube mints epoch 2, the first epoch above 0 in its
+	// residue class (node-unique minting, see bumpEpoch).
+	want := uint64(2)<<32 | 1
 	if gs[0].Fence != want {
-		t.Errorf("post-regeneration fence = %#x, want %#x (epoch 1, counter 1)", gs[0].Fence, want)
+		t.Errorf("post-regeneration fence = %#x, want %#x (epoch 2, counter 1)", gs[0].Fence, want)
 	}
 	// Strictly above anything epoch 0 could ever have issued.
 	if gs[0].Fence <= uint64(^uint32(0)) {

@@ -255,6 +255,32 @@ func (n *Node) Policy() Policy { return n.policy }
 // Epoch returns the highest token generation the node has observed.
 func (n *Node) Epoch() uint32 { return n.epoch }
 
+// Seq returns the node's own request sequence number. Like Epoch and
+// RepairGen it is Section 5 stable storage: it must survive a crash so
+// re-issued requests stay monotonic.
+func (n *Node) Seq() uint64 { return n.seq }
+
+// RepairGen returns the repair-generation counter (Section 5 stable
+// storage): it fences messages of superseded repair rounds.
+func (n *Node) RepairGen() uint32 { return n.repairGen }
+
+// RestoreStable seeds a freshly constructed node with the Section 5
+// stable storage of its previous incarnation — request sequence, token
+// epoch high-water mark, repair generation. The simulator keeps the
+// same Node object across Recover, so it never needs this; a live
+// restart builds a new Node and replays the persisted values through
+// here, then runs Recover to rejoin. It refuses a node that already has
+// protocol activity.
+func (n *Node) RestoreStable(seq uint64, epoch, repairGen uint32) error {
+	if n.Busy() || n.seq != 0 {
+		return errors.New("core: RestoreStable on a non-pristine node")
+	}
+	n.seq = seq
+	n.epoch = epoch
+	n.repairGen = repairGen
+	return nil
+}
+
 func (n *Node) view() View {
 	return View{Self: n.cfg.Self, Father: n.father, TokenHere: n.tokenHere, Pmax: n.cfg.P}
 }

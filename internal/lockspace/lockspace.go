@@ -78,6 +78,20 @@ type Config struct {
 	// expired holder harmless to fence-checking resources: the reclaiming
 	// grant carries a higher fence. Zero disables expiry.
 	LeaseTTL time.Duration
+	// Rejoin marks this node as restarting into a cluster that may hold
+	// state about its previous life. Every instance is then instantiated
+	// through the Section 5 recovery procedure instead of pristinely:
+	// NewNode's initial conditions (node 0 holds the token, fathers along
+	// the initial cube) are only true at cluster birth, and a restarted
+	// node that trusted them could fabricate a second token. Recovery
+	// instead rejoins as a leaf and searches for the living structure.
+	Rejoin bool
+	// Stable, when set, persists each instance's Section 5 stable
+	// storage (StableState) write-through from the event loop, and seeds
+	// restored instances from it before recovery. Pair it with Rejoin:
+	// Stable carries the values across the restart, Rejoin replays them
+	// into the cluster.
+	Stable StableStore
 }
 
 // Lockspace is one node of the live keyed lock service, driving every
@@ -117,6 +131,9 @@ type instance struct {
 	// deadline without stacking timers.
 	leaseDeadline time.Time
 	leaseArmed    bool
+	// saved is the last StableState written through to Config.Stable,
+	// so unchanged states cost no store traffic.
+	saved StableState
 }
 
 type waiter struct {
@@ -137,6 +154,7 @@ const (
 	opRelease
 	opCancel
 	opKeepalive
+	opCensus
 )
 
 type lcall struct {
@@ -145,6 +163,18 @@ type lcall struct {
 	w     *waiter // acquire/cancel: the waiter concerned
 	fence uint64  // release/keepalive: required hold (0 = whatever is held)
 	reply chan error
+	rows  chan []CensusRow // census: the snapshot reply
+}
+
+// CensusRow is one instance's snapshot in a Census: the fields the
+// chaos harness's end-of-run checks need (at most one token per
+// instance across surviving nodes; quiescence).
+type CensusRow struct {
+	Instance  uint64
+	TokenHere bool
+	Held      bool
+	Busy      bool
+	Epoch     uint32
 }
 
 type ltimer struct {
@@ -201,11 +231,23 @@ func (ls *Lockspace) Lock(ctx context.Context, key string) (uint64, error) {
 	case ls.calls <- lcall{op: opAcquire, inst: id, w: w, reply: reply}:
 	case <-ls.stop:
 		return 0, ErrClosed
+	case <-ls.done:
+		return 0, ErrClosed
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
-	if err := <-reply; err != nil {
-		return 0, fmt.Errorf("lockspace: lock %q: %w", key, err)
+	// Every wait below also watches ls.done: the loop can die between
+	// accepting the call and serving the grant — Close racing an
+	// in-flight Lock, or the transport closing under the loop (a killed
+	// node's session), where ls.stop never closes. Without the guard the
+	// caller's goroutine would leak, parked on a reply nobody sends.
+	select {
+	case err := <-reply:
+		if err != nil {
+			return 0, fmt.Errorf("lockspace: lock %q: %w", key, err)
+		}
+	case <-ls.done:
+		return 0, ErrClosed
 	}
 	select {
 	case <-w.granted:
@@ -216,11 +258,17 @@ func (ls *Lockspace) Lock(ctx context.Context, key string) (uint64, error) {
 		creply := make(chan error, 1)
 		select {
 		case ls.calls <- lcall{op: opCancel, inst: id, w: w, reply: creply}:
-			<-creply
+			select {
+			case <-creply:
+			case <-ls.done:
+			}
 		case <-ls.stop:
+		case <-ls.done:
 		}
 		return 0, ctx.Err()
 	case <-ls.stop:
+		return 0, ErrClosed
+	case <-ls.done:
 		return 0, ErrClosed
 	}
 }
@@ -237,11 +285,18 @@ func (ls *Lockspace) Unlock(key string, fence uint64) error {
 	case ls.calls <- lcall{op: opRelease, inst: KeyInstance(key), fence: fence, reply: reply}:
 	case <-ls.stop:
 		return ErrClosed
+	case <-ls.done:
+		return ErrClosed
 	}
-	if err := <-reply; err != nil {
-		return fmt.Errorf("lockspace: unlock %q: %w", key, err)
+	select {
+	case err := <-reply:
+		if err != nil {
+			return fmt.Errorf("lockspace: unlock %q: %w", key, err)
+		}
+		return nil
+	case <-ls.done:
+		return ErrClosed
 	}
-	return nil
 }
 
 // Keepalive renews the lease of the hold fence names (0 = the current
@@ -254,11 +309,39 @@ func (ls *Lockspace) Keepalive(key string, fence uint64) error {
 	case ls.calls <- lcall{op: opKeepalive, inst: KeyInstance(key), fence: fence, reply: reply}:
 	case <-ls.stop:
 		return ErrClosed
+	case <-ls.done:
+		return ErrClosed
 	}
-	if err := <-reply; err != nil {
-		return fmt.Errorf("lockspace: keepalive %q: %w", key, err)
+	select {
+	case err := <-reply:
+		if err != nil {
+			return fmt.Errorf("lockspace: keepalive %q: %w", key, err)
+		}
+		return nil
+	case <-ls.done:
+		return ErrClosed
 	}
-	return nil
+}
+
+// Census snapshots every instantiated instance from inside the event
+// loop — a consistent point-in-time view used by the chaos harness's
+// end-of-run checks (at most one live token per instance across the
+// surviving nodes, quiescence at rest).
+func (ls *Lockspace) Census() ([]CensusRow, error) {
+	rows := make(chan []CensusRow, 1)
+	select {
+	case ls.calls <- lcall{op: opCensus, rows: rows}:
+	case <-ls.stop:
+		return nil, ErrClosed
+	case <-ls.done:
+		return nil, ErrClosed
+	}
+	select {
+	case r := <-rows:
+		return r, nil
+	case <-ls.done:
+		return nil, ErrClosed
+	}
 }
 
 // Close stops the node's loop and timers. It does not close the
@@ -292,6 +375,7 @@ func (ls *Lockspace) loop() {
 				}
 				st := ls.ensure(env.Instance)
 				ls.apply(env.Instance, st, st.node.HandleMessage(env.Msg))
+				ls.persist(env.Instance, st)
 			}
 		case tf := <-ls.timerC:
 			st := ls.insts[tf.inst]
@@ -299,6 +383,7 @@ func (ls *Lockspace) loop() {
 				break // dead fire: instance unknown or generation superseded
 			}
 			ls.apply(tf.inst, st, st.node.HandleTimer(tf.kind, tf.gen))
+			ls.persist(tf.inst, st)
 		case id := <-ls.leaseC:
 			ls.leaseCheck(id)
 		case c := <-ls.calls:
@@ -311,14 +396,32 @@ func (ls *Lockspace) loop() {
 				c.reply <- ls.cancel(c.inst, c.w)
 			case opKeepalive:
 				c.reply <- ls.keepalive(c.inst, c.fence)
+			case opCensus:
+				rows := make([]CensusRow, 0, len(ls.insts))
+				for id, st := range ls.insts {
+					rows = append(rows, CensusRow{
+						Instance: id, TokenHere: st.node.TokenHere(),
+						Held: st.held, Busy: st.node.Busy(), Epoch: st.node.Epoch(),
+					})
+				}
+				c.rows <- rows
+			}
+			if c.op != opCensus {
+				if st := ls.insts[c.inst]; st != nil {
+					ls.persist(c.inst, st)
+				}
 			}
 		}
 		ls.flush()
 	}
 }
 
-// ensure returns the instance, instantiating its pristine state machine
-// on first touch.
+// ensure returns the instance, instantiating its state machine on first
+// touch: pristine for a cluster-birth node, through stable-storage
+// restore and Section 5 recovery for a Rejoin node (a restarted node
+// cannot tell "this instance never existed" from "it lived while I was
+// down", and trusting NewNode's initial conditions in the second case
+// would fabricate a second token).
 func (ls *Lockspace) ensure(id uint64) *instance {
 	st := ls.insts[id]
 	if st == nil {
@@ -330,8 +433,32 @@ func (ls *Lockspace) ensure(id uint64) *instance {
 		st = &instance{node: node}
 		ls.insts[id] = st
 		ls.states.Add(1)
+		if ls.cfg.Stable != nil {
+			if s, ok := ls.cfg.Stable.Load(id); ok {
+				if err := node.RestoreStable(s.Seq, s.Epoch, s.RepairGen); err == nil {
+					st.saved = s
+				}
+			}
+		}
+		if ls.cfg.Rejoin {
+			ls.apply(id, st, node.Recover())
+			ls.persist(id, st)
+		}
 	}
 	return st
+}
+
+// persist writes the instance's stable storage through to Config.Stable
+// when it changed this event.
+func (ls *Lockspace) persist(id uint64, st *instance) {
+	if ls.cfg.Stable == nil {
+		return
+	}
+	cur := StableState{Seq: st.node.Seq(), Epoch: st.node.Epoch(), RepairGen: st.node.RepairGen()}
+	if cur != st.saved {
+		st.saved = cur
+		ls.cfg.Stable.Save(id, cur)
+	}
 }
 
 // acquire enqueues a waiter and issues the protocol request when it is
@@ -463,6 +590,7 @@ func (ls *Lockspace) leaseTimer(id uint64, d time.Duration) {
 		select {
 		case ls.leaseC <- id:
 		case <-ls.stop:
+		case <-ls.done: // loop died under a closed transport; stop never closes
 		}
 	})
 }
@@ -488,6 +616,7 @@ func (ls *Lockspace) leaseCheck(id uint64) {
 		return
 	}
 	_ = ls.forceRelease(id, st)
+	ls.persist(id, st)
 }
 
 // apply executes one instance's effects: sends join the per-destination
@@ -539,6 +668,7 @@ func (ls *Lockspace) armTimer(id uint64, e core.StartTimer) {
 		select {
 		case ls.timerC <- ltimer{inst: id, kind: e.Kind, gen: e.Gen}:
 		case <-ls.stop:
+		case <-ls.done: // loop died under a closed transport; stop never closes
 		}
 	})
 }

@@ -1,0 +1,135 @@
+package lockspace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// StableState is one instance's Section 5 stable storage: the values a
+// node must carry across a crash so its reincarnation stays coherent
+// with the living cluster — a request sequence that keeps re-issued
+// requests monotonic, the token-epoch high-water mark that fences
+// regenerated tokens, and the repair generation that fences superseded
+// repair rounds.
+type StableState struct {
+	Seq       uint64 `json:"seq"`
+	Epoch     uint32 `json:"epoch"`
+	RepairGen uint32 `json:"repair_gen"`
+}
+
+// StableStore persists per-instance StableState across node restarts.
+// Save is called from the node's event loop on every change (seq bumps
+// on each request), so implementations should be cheap; Load is called
+// once per instance at first touch.
+type StableStore interface {
+	Load(inst uint64) (StableState, bool)
+	Save(inst uint64, s StableState)
+}
+
+// MemStable is an in-memory StableStore: it survives a Lockspace being
+// closed and rebuilt (the in-process chaos driver's kill/restart) but
+// not the process. Concurrency-safe; the zero value is NOT ready — use
+// NewMemStable.
+type MemStable struct {
+	mu sync.Mutex
+	m  map[uint64]StableState
+}
+
+// NewMemStable builds an empty in-memory stable store.
+func NewMemStable() *MemStable {
+	return &MemStable{m: make(map[uint64]StableState)}
+}
+
+// Load implements StableStore.
+func (s *MemStable) Load(inst uint64) (StableState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m[inst]
+	return st, ok
+}
+
+// Save implements StableStore.
+func (s *MemStable) Save(inst uint64, st StableState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[inst] = st
+}
+
+// FileStable is a StableStore on an append-only JSONL log, for node
+// processes that die by SIGKILL: each Save appends one record (a single
+// write syscall), OpenFileStable replays the log with last-record-wins
+// and silently discards a torn final line — the worst a kill mid-append
+// costs is that one update, which the protocol absorbs like a crash
+// that happened a moment earlier.
+type FileStable struct {
+	mu sync.Mutex
+	m  map[uint64]StableState
+	f  *os.File
+}
+
+type fileStableRec struct {
+	Inst uint64 `json:"inst"`
+	StableState
+}
+
+// OpenFileStable opens (creating if needed) the stable log at path and
+// replays it.
+func OpenFileStable(path string) (*FileStable, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lockspace: stable log: %w", err)
+	}
+	s := &FileStable{m: make(map[uint64]StableState), f: f}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var rec fileStableRec
+		if json.Unmarshal(sc.Bytes(), &rec) != nil {
+			continue // torn tail of a killed writer
+		}
+		s.m[rec.Inst] = rec.StableState
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lockspace: stable log replay: %w", err)
+	}
+	// A torn tail has no newline; terminate it so the next append starts
+	// a fresh line instead of gluing onto the garbage.
+	if info, err := f.Stat(); err == nil && info.Size() > 0 {
+		tail := make([]byte, 1)
+		if _, err := f.ReadAt(tail, info.Size()-1); err == nil && tail[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	return s, nil
+}
+
+// Load implements StableStore.
+func (s *FileStable) Load(inst uint64) (StableState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m[inst]
+	return st, ok
+}
+
+// Save implements StableStore.
+func (s *FileStable) Save(inst uint64, st StableState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[inst] = st
+	b, err := json.Marshal(fileStableRec{Inst: inst, StableState: st})
+	if err != nil {
+		return
+	}
+	s.f.Write(append(b, '\n'))
+}
+
+// Close closes the log file.
+func (s *FileStable) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

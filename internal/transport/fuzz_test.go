@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// FuzzSessionDedup drives the receiver half of a Session with arbitrary
+// interleavings of hand-crafted frames — duplicates, stale boots, boot
+// bumps, out-of-order sequence jumps, garbage acks — and checks the
+// delivered stream against a reference model of the dedup contract:
+// within one sender incarnation every sequence number is delivered at
+// most once, a higher boot restarts the sequence space, a lower boot
+// delivers nothing. The seed corpus (f.Add plus testdata/fuzz) encodes
+// the E11 duplicate-token shapes: the same transfer frame re-sent after
+// an ack loss, and a reborn node replaying its old sequence numbers.
+//
+// Input encoding: 3 bytes per op — opcode (mod 5), boot (1..4 before
+// bumps), seq (0..15; 0 is a pure ack wire-wise).
+//
+//	op 0: send data frame (boot, seq)
+//	op 1: send it twice (the retransmit-duplicate shape)
+//	op 2: send a pure ack frame (exercises onAck against no sender state)
+//	op 3: send (boot, seq+64) — a far-future seq that parks in recvSeen
+//	op 4: send (boot+4, seq) — a rebirth bump
+func FuzzSessionDedup(f *testing.F) {
+	// Retransmit duplicate: one frame, then the same frame twice more.
+	f.Add([]byte{0, 1, 1, 1, 1, 1})
+	// E11 duplicate token: transfer sent, ack lost, transfer re-sent.
+	f.Add([]byte{0, 2, 3, 1, 2, 3, 2, 2, 3, 1, 2, 3})
+	// Rebirth replay: boot 1 delivers, boot 5 resets the window and
+	// reuses seq 1, then a boot-1 straggler must be refused.
+	f.Add([]byte{0, 1, 1, 4, 1, 1, 0, 1, 1})
+	// Out-of-order window: far-future seq parks above recvHigh, the gap
+	// fills, the future seq replays as a duplicate.
+	f.Add([]byte{3, 1, 5, 0, 1, 1, 0, 1, 2, 3, 1, 5})
+	// Ack-only noise around a delivery.
+	f.Add([]byte{2, 1, 1, 0, 1, 1, 2, 1, 1, 2, 3, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 600 {
+			data = data[:600]
+		}
+		mesh, err := NewSessMesh(2, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewSession(1, mesh.Endpoint(1), SessionConfig{})
+		defer func() {
+			b.Close()
+			mesh.Close()
+		}()
+		ep := mesh.Endpoint(0)
+
+		// Reference model: the delivery stream the dedup contract allows.
+		var want []uint64
+		cur := uint64(0)
+		seen := make(map[uint64]struct{})
+		model := func(boot, seq uint64) {
+			if seq == 0 || boot < cur {
+				return
+			}
+			if boot > cur {
+				cur = boot
+				seen = make(map[uint64]struct{})
+			}
+			if _, dup := seen[seq]; dup {
+				return
+			}
+			seen[seq] = struct{}{}
+			want = append(want, boot<<32|seq)
+		}
+		send := func(boot, seq uint64) {
+			ep.SendFrame(1, SessFrame{
+				From: 0, Boot: boot, Seq: seq,
+				Batch: []core.Envelope{{Instance: boot<<32 | seq}},
+			})
+			model(boot, seq)
+		}
+
+		for i := 0; i+2 < len(data); i += 3 {
+			op := data[i] % 5
+			boot := uint64(data[i+1]%4) + 1
+			seq := uint64(data[i+2] % 16)
+			switch op {
+			case 0:
+				send(boot, seq)
+			case 1:
+				send(boot, seq)
+				send(boot, seq)
+			case 2:
+				ep.SendFrame(1, SessFrame{From: 0, Boot: boot, Ack: seq})
+			case 3:
+				send(boot, seq+64)
+			case 4:
+				send(boot+4, seq)
+			}
+		}
+
+		// Sentinel on a boot above anything the ops can produce: when it
+		// comes out, everything before it is the complete delivery stream.
+		const sentinel = uint64(1) << 63
+		ep.SendFrame(1, SessFrame{
+			From: 0, Boot: 1 << 20, Seq: 1,
+			Batch: []core.Envelope{{Instance: sentinel}},
+		})
+
+		var got []uint64
+		deadline := time.After(10 * time.Second)
+	drain:
+		for {
+			select {
+			case batch, ok := <-b.RecvBatch():
+				if !ok {
+					t.Fatalf("receive channel closed after %d deliveries", len(got))
+				}
+				if len(batch) != 1 {
+					t.Fatalf("torn batch: %d envelopes", len(batch))
+				}
+				if batch[0].Instance == sentinel {
+					break drain
+				}
+				got = append(got, batch[0].Instance)
+			case <-deadline:
+				t.Fatalf("timed out: got %d deliveries, want %d", len(got), len(want))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("delivered %d batches, model wants %d\n got %x\nwant %x", len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("delivery %d = %x, model wants %x", i, got[i], want[i])
+			}
+		}
+	})
+}

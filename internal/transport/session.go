@@ -39,6 +39,14 @@ type SessionConfig struct {
 	// extra on every retransmission (decorrelates retransmit storms).
 	// Default 0.2.
 	Jitter float64
+	// Boot is this session's incarnation number. A restarted node must
+	// come back with a Boot strictly above any it used before (a
+	// persisted counter, or coarse wall-clock at startup): receivers key
+	// their dedup window on the sender's boot, so a higher boot resets
+	// the window — without it every frame of the fresh incarnation,
+	// restarting at Seq 1, would be discarded as a duplicate — and
+	// frames from an older boot are dropped outright. Default 1.
+	Boot uint64
 }
 
 func (c SessionConfig) withDefaults() SessionConfig {
@@ -53,6 +61,9 @@ func (c SessionConfig) withDefaults() SessionConfig {
 	}
 	if c.Jitter <= 0 {
 		c.Jitter = 0.2
+	}
+	if c.Boot == 0 {
+		c.Boot = 1
 	}
 	return c
 }
@@ -72,6 +83,10 @@ type SessionStats struct {
 	// AckTimeouts counts retransmission timeouts that expired with the
 	// frame still unacknowledged.
 	AckTimeouts int64
+	// StaleBootDrops counts frames discarded because they carried a boot
+	// below the sender's current incarnation — traffic from a dead
+	// incarnation still in flight after a restart.
+	StaleBootDrops int64
 }
 
 // SessFrame is the wire unit of a live session: a data frame carries one
@@ -81,10 +96,18 @@ type SessionStats struct {
 type SessFrame struct {
 	// From is the sending node.
 	From ocube.Pos
+	// Boot is an incarnation number: on a data frame, the sender's boot
+	// (SessionConfig.Boot); on a pure ack, an echo of the boot of the
+	// frame being acknowledged, so a reborn sender ignores acks meant
+	// for its previous life. Sequence numbers are scoped to a boot — the
+	// receiver resets its dedup window when a peer comes back with a
+	// higher boot and drops frames from lower ones.
+	Boot uint64
 	// Seq numbers data frames per sender starting at 1; 0 marks a pure
 	// ack frame.
 	Seq uint64
-	// Ack acknowledges receipt of the peer's data frame Ack (0 = none).
+	// Ack acknowledges receipt of the peer's data frame Ack (0 = none);
+	// it is meaningful only on pure ack frames (data frames leave it 0).
 	Ack uint64
 	// Batch is the payload of a data frame.
 	Batch []core.Envelope
@@ -111,6 +134,7 @@ type sessPeer struct {
 	sendSlot chan struct{} // window semaphore
 
 	// Receiver side: frames from this peer.
+	recvBoot uint64              // the peer incarnation the window below belongs to
 	recvHigh uint64              // every seq ≤ recvHigh was delivered
 	recvSeen map[uint64]struct{} // delivered seqs above recvHigh
 }
@@ -130,31 +154,37 @@ type Session struct {
 	link FrameLink
 	cfg  SessionConfig
 
-	mu     sync.Mutex
-	peers  map[ocube.Pos]*sessPeer
-	stats  SessionStats
-	rng    *rand.Rand
-	closed bool
+	mu      sync.Mutex
+	peers   map[ocube.Pos]*sessPeer
+	stats   SessionStats
+	rng     *rand.Rand
+	closed  bool
+	pending [][]core.Envelope // received, acked, not yet handed to the app
 
-	out  chan []core.Envelope
-	done chan struct{}
-	wg   sync.WaitGroup
+	out      chan []core.Envelope
+	pendingC chan struct{} // wakes deliverLoop; cap 1, best-effort
+	recvDone chan struct{} // recvLoop exited (link closed)
+	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewSession wraps link in a reliable session for node self. The session
 // owns the link: Close closes it.
 func NewSession(self ocube.Pos, link FrameLink, cfg SessionConfig) *Session {
 	s := &Session{
-		self:  self,
-		link:  link,
-		cfg:   cfg.withDefaults(),
-		peers: make(map[ocube.Pos]*sessPeer),
-		rng:   rand.New(rand.NewSource(int64(self)*2654435761 + 1)),
-		out:   make(chan []core.Envelope, 1024),
-		done:  make(chan struct{}),
+		self:     self,
+		link:     link,
+		cfg:      cfg.withDefaults(),
+		peers:    make(map[ocube.Pos]*sessPeer),
+		rng:      rand.New(rand.NewSource(int64(self)*2654435761 + 1)),
+		out:      make(chan []core.Envelope, 1024),
+		pendingC: make(chan struct{}, 1),
+		recvDone: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.recvLoop()
+	go s.deliverLoop()
 	return s
 }
 
@@ -220,7 +250,7 @@ func (s *Session) SendBatch(to ocube.Pos, batch []core.Envelope) error {
 
 	// A send error means the frame may be lost (e.g. the TCP peer is
 	// down); the retransmit timer repairs it after the link re-dials.
-	s.link.SendFrame(to, SessFrame{From: s.self, Seq: seq, Batch: owned})
+	s.link.SendFrame(to, SessFrame{From: s.self, Boot: s.cfg.Boot, Seq: seq, Batch: owned})
 	return nil
 }
 
@@ -258,15 +288,23 @@ func (s *Session) retransmit(to ocube.Pos, seq uint64) {
 	batch := out.batch
 	s.mu.Unlock()
 
-	s.link.SendFrame(to, SessFrame{From: s.self, Seq: seq, Batch: batch})
+	s.link.SendFrame(to, SessFrame{From: s.self, Boot: s.cfg.Boot, Seq: seq, Batch: batch})
 }
 
-// recvLoop turns inbound frames into deliveries and acks. It exits on
-// link closure or session Close — the latter matters for links whose
-// endpoints are owned elsewhere (SessMesh) and outlive the session.
+// recvLoop turns inbound frames into acks and queued deliveries. It
+// exits on link closure or session Close — the former matters for links
+// whose endpoints are owned elsewhere (SessMesh) and outlive the
+// session. Delivery to the app happens in deliverLoop, never here: if
+// acking waited on the app consuming RecvBatch, two nodes could
+// deadlock — each blocked in a send with a full window, neither
+// draining its inbox, so neither's acks ever arrive. Decoupling makes
+// the ack path unconditional; the cost is that the queue of
+// acked-but-undelivered batches is unbounded (the usual
+// reliable-channel idealization — a permanently stalled consumer costs
+// memory, not cluster-wide deadlock).
 func (s *Session) recvLoop() {
 	defer s.wg.Done()
-	defer close(s.out)
+	defer close(s.recvDone)
 	for {
 		var f SessFrame
 		select {
@@ -278,10 +316,10 @@ func (s *Session) recvLoop() {
 		case <-s.done:
 			return
 		}
-		if f.Ack != 0 {
-			s.onAck(f.From, f.Ack)
-		}
 		if f.Seq == 0 {
+			if f.Ack != 0 {
+				s.onAck(f.From, f.Ack, f.Boot)
+			}
 			continue // pure ack
 		}
 		s.mu.Lock()
@@ -290,6 +328,20 @@ func (s *Session) recvLoop() {
 			return
 		}
 		p := s.peer(f.From)
+		if f.Boot < p.recvBoot {
+			// A frame from a dead incarnation of the peer; its session is
+			// gone, so there is no point acking it either.
+			s.stats.StaleBootDrops++
+			s.mu.Unlock()
+			continue
+		}
+		if f.Boot > p.recvBoot {
+			// The peer was reborn: its sequence space restarted, so the
+			// dedup window keyed to the old incarnation must restart too.
+			p.recvBoot = f.Boot
+			p.recvHigh = 0
+			p.recvSeen = make(map[uint64]struct{})
+		}
 		dup := f.Seq <= p.recvHigh
 		if !dup {
 			_, dup = p.recvSeen[f.Seq]
@@ -305,23 +357,69 @@ func (s *Session) recvLoop() {
 				delete(p.recvSeen, p.recvHigh+1)
 				p.recvHigh++
 			}
+			s.pending = append(s.pending, f.Batch)
 		}
 		s.mu.Unlock()
 		// Ack unconditionally: a duplicate means the original ack was
 		// lost (or is still in flight) and the sender is retransmitting.
-		s.link.SendFrame(f.From, SessFrame{From: s.self, Ack: f.Seq})
+		// The ack echoes the frame's boot so only that incarnation
+		// retires the frame.
+		s.link.SendFrame(f.From, SessFrame{From: s.self, Boot: f.Boot, Ack: f.Seq})
 		if !dup {
 			select {
-			case s.out <- f.Batch:
-			case <-s.done:
-				return
+			case s.pendingC <- struct{}{}:
+			default: // deliverLoop is already awake
 			}
 		}
 	}
 }
 
-// onAck retires an acknowledged frame and frees its window slot.
-func (s *Session) onAck(from ocube.Pos, seq uint64) {
+// deliverLoop hands queued batches to the app. Separated from recvLoop
+// so delivery backpressure never stalls ack processing (see recvLoop).
+func (s *Session) deliverLoop() {
+	defer s.wg.Done()
+	defer close(s.out)
+	for {
+		s.mu.Lock()
+		batches := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+		for _, b := range batches {
+			select {
+			case s.out <- b:
+			case <-s.done:
+				return
+			}
+		}
+		select {
+		case <-s.pendingC:
+		case <-s.recvDone:
+			// The link closed; flush whatever recvLoop queued last.
+			s.mu.Lock()
+			rest := s.pending
+			s.pending = nil
+			s.mu.Unlock()
+			for _, b := range rest {
+				select {
+				case s.out <- b:
+				case <-s.done:
+					return
+				}
+			}
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// onAck retires an acknowledged frame and frees its window slot. Acks
+// echoing a different boot are for a previous incarnation's frames —
+// this incarnation's frame with the same seq is still outstanding.
+func (s *Session) onAck(from ocube.Pos, seq, boot uint64) {
+	if boot != s.cfg.Boot {
+		return
+	}
 	s.mu.Lock()
 	p := s.peers[from]
 	var out *sessOut

@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ocube"
+)
+
+// Boot-incarnation tests: a restarted node's fresh session restarts its
+// sequence space at 1; without boot-keyed dedup windows the survivors
+// would discard its every frame as a duplicate of its previous life.
+
+// TestSessionPeerRebirthResetsDedup kills and reincarnates one side of a
+// session pair with a higher boot and checks the survivor accepts the
+// restarted sequence space while refusing leftovers of the old one.
+func TestSessionPeerRebirthResetsDedup(t *testing.T) {
+	mesh, err := NewSessMesh(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewSession(1, mesh.Endpoint(1), SessionConfig{})
+	t.Cleanup(func() {
+		b.Close()
+		mesh.Close()
+	})
+
+	a1 := NewSession(0, mesh.Endpoint(0), SessionConfig{Boot: 1})
+	for i := 0; i < 3; i++ {
+		if err := a1.SendBatch(1, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collect(t, b, 3)
+	for i := 0; i < 3; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Fatalf("boot 1 batch %d: got %v", i, got)
+		}
+	}
+	a1.Close() // the kill: seqs 1..3 are burned into b's window
+
+	// The reincarnation reuses seqs 1..3. Pre-boot dedup would drop all
+	// of them silently.
+	a2 := NewSession(0, mesh.Endpoint(0), SessionConfig{Boot: 2})
+	t.Cleanup(func() { a2.Close() })
+	for i := 10; i < 13; i++ {
+		if err := a2.SendBatch(1, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got = collect(t, b, 3)
+	for i := 10; i < 13; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Fatalf("boot 2 batch %d not delivered exactly once: got %v", i, got)
+		}
+	}
+
+	// A straggler of the dead incarnation must be dropped, not delivered
+	// and not acked.
+	if err := mesh.Endpoint(0).SendFrame(1, SessFrame{From: 0, Boot: 1, Seq: 99, Batch: payload(99)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b.Stats().StaleBootDrops >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stale-boot frame never counted: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case batch := <-b.RecvBatch():
+		t.Fatalf("stale-boot frame delivered: %+v", batch)
+	default:
+	}
+}
+
+// TestSessionRebirthIgnoresStaleAcks checks a reborn sender does not let
+// acks addressed to its previous incarnation retire its fresh frames:
+// the ack echoes the acked frame's boot, and a mismatch is ignored.
+func TestSessionRebirthIgnoresStaleAcks(t *testing.T) {
+	mesh, err := NewSessMesh(2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewSession(0, mesh.Endpoint(0), SessionConfig{Boot: 2, RTO: 20 * time.Millisecond})
+	t.Cleanup(func() {
+		a.Close()
+		mesh.Close()
+	})
+
+	// Drop every data frame from a, then forge an old-boot ack for seq 1:
+	// the frame must stay unacked and keep retransmitting.
+	mesh.Drop = func(to ocube.Pos, f SessFrame) bool { return to == 1 && f.Seq != 0 }
+	if err := a.SendBatch(1, payload(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mesh.Endpoint(1).SendFrame(0, SessFrame{From: 1, Boot: 1, Ack: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().Retransmits < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("frame stopped retransmitting after a stale-boot ack: %+v", a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A current-boot ack retires it.
+	if err := mesh.Endpoint(1).SendFrame(0, SessFrame{From: 1, Boot: 2, Ack: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	base := a.Stats().Retransmits
+	time.Sleep(200 * time.Millisecond)
+	if got := a.Stats().Retransmits; got > base+1 {
+		t.Fatalf("retransmissions continued after a matching ack: %d -> %d", base, got)
+	}
+}
+
+// TestSessionAckPathNotBlockedByDelivery sends far more batches than the
+// delivery buffer holds while the receiving app consumes nothing: acks
+// must still flow (they are processed off the delivery path), so every
+// send completes. With acking coupled to delivery this deadlocks — the
+// full buffer blocks the receiver's inbox, acks stop, the sender's
+// window jams shut. This is the live analogue of a node blocked in
+// flush toward a partitioned peer while traffic pours in.
+func TestSessionAckPathNotBlockedByDelivery(t *testing.T) {
+	mesh, err := NewSessMesh(2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sessPairOver(t, mesh, SessionConfig{Window: 8})
+
+	const n = 1500 // > out-channel cap (1024) + window
+	sent := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := a.SendBatch(1, payload(i)); err != nil {
+				sent <- err
+				return
+			}
+		}
+		sent <- nil
+	}()
+	select {
+	case err := <-sent:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("sends stalled with an unconsumed receiver: ack path blocked by delivery (a=%+v b=%+v)",
+			a.Stats(), b.Stats())
+	}
+
+	// Nothing was lost or duplicated: the app can now drain all of it.
+	got := collect(t, b, n)
+	for i := 0; i < n; i++ {
+		if got[uint64(i+1)] != 1 {
+			t.Fatalf("batch %d delivered %d times", i, got[uint64(i+1)])
+		}
+	}
+}
