@@ -11,6 +11,7 @@ package opencubemx
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -286,6 +287,31 @@ func BenchmarkEngineThroughput(b *testing.B) {
 				msgs, grants = m, g
 			}
 			b.ReportMetric(float64(msgs)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(msgs)/float64(grants), "msgs/grant")
+		})
+	}
+}
+
+// BenchmarkE13Sharded runs a small sharded-lockspace cell (the E13
+// machinery end to end: 64-slice grid, seed-folded per-slice streams,
+// hot-shard crash, slice-order merge) at two shard-worker counts. The
+// msgs/grant metric is identical for both by the determinism contract;
+// the wall-clock difference is the shard runtime's parallel overhead or
+// speedup on this machine. The BENCH_*.json suite measures the same
+// contract at one million keys (e13_k1m_shard1/8).
+func BenchmarkE13Sharded(b *testing.B) {
+	cell := harness.E13Cell{P: 4, Keys: 256, Skew: "zipf"}
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var msgs, grants int64
+			for i := 0; i < b.N; i++ {
+				m, g, err := harness.E13Throughput(cell, shards, 1993)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs, grants = m, g
+			}
 			b.ReportMetric(float64(msgs)/float64(grants), "msgs/grant")
 		})
 	}

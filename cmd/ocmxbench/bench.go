@@ -31,16 +31,35 @@ type benchResult struct {
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 	MsgsMetric   float64 `json:"msgs_metric,omitempty"`
 	MsgsMetricIs string  `json:"msgs_metric_is,omitempty"`
+	// Shards is the shard-worker count of a sharded (e13) entry; absent
+	// on single-engine entries. Interpret the e13 speedup against
+	// gomaxprocs — shard workers beyond the core count cannot pay off.
+	Shards int `json:"shards,omitempty"`
 }
 
 // benchFile is the BENCH_<label>.json document.
 type benchFile struct {
-	Label       string                 `json:"label"`
-	GoVersion   string                 `json:"go_version"`
-	GOMAXPROCS  int                    `json:"gomaxprocs"`
-	Parallelism int                    `json:"parallelism"`
+	Label       string `json:"label"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+	// Shards records the CLI -shards resolution (informational: the e13
+	// suite entries fix their own shard counts to stay comparable).
+	Shards      int                    `json:"shards"`
 	Seed        int64                  `json:"seed"`
 	Experiments map[string]benchResult `json:"experiments"`
+}
+
+// e13BenchCell is the sharded perf-gate cell: one million Zipf keys at
+// N=256 with the hot-shard crash — the smallest configuration where the
+// shard runtime (not the protocol) dominates wall-clock.
+var e13BenchCell = harness.E13Cell{P: 8, Keys: 1 << 20, Skew: "zipf"}
+
+// e13GateShards names the suite entries that fix their own shard-worker
+// count, mapping each to it for the per-entry metadata.
+var e13GateShards = map[string]int{
+	"e13_k1m_shard1": 1,
+	"e13_k1m_shard8": 8,
 }
 
 // perGrant folds a throughput run into the suite shape: events plus a
@@ -132,7 +151,7 @@ func chaosSmoke(seed int64) (benchResult, error) {
 }
 
 // benchJSON runs the suite and writes BENCH_<label>.json.
-func benchJSON(label string, seed int64) error {
+func benchJSON(label string, seed int64, shards int) error {
 	suite := []struct {
 		name     string
 		metricIs string
@@ -253,6 +272,18 @@ func benchJSON(label string, seed int64) error {
 			}
 			return 0, 0, fmt.Errorf("e8: no open-cube crash row")
 		}},
+		// The e13 pair is new in PR 8: the same million-key sharded cell
+		// (N=256, Zipf, hot-shard crash) executed on 1 and on 8 shard
+		// workers. The logical work and the metric are identical by the
+		// determinism contract — dividing shard1 ns_per_op by shard8's
+		// measures the multicore speedup of the shard runtime (meaningful
+		// only when gomaxprocs allows it; see the speedup pseudo-entry).
+		{"e13_k1m_shard1", "msgs/grant (1M-key sharded lockspace)", func() (int64, float64, error) {
+			return perGrant(harness.E13Throughput(e13BenchCell, 1, seed))
+		}},
+		{"e13_k1m_shard8", "msgs/grant (1M-key sharded lockspace)", func() (int64, float64, error) {
+			return perGrant(harness.E13Throughput(e13BenchCell, 8, seed))
+		}},
 	}
 
 	out := benchFile{
@@ -260,6 +291,7 @@ func benchJSON(label string, seed int64) error {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Parallelism: harness.Parallelism(),
+		Shards:      shards,
 		Seed:        seed,
 		Experiments: make(map[string]benchResult, len(suite)),
 	}
@@ -271,8 +303,24 @@ func benchJSON(label string, seed int64) error {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
 		res.MsgsMetricIs = s.metricIs
+		res.Shards = e13GateShards[s.name]
 		out.Experiments[s.name] = res
 		fmt.Fprintf(os.Stderr, " %12d ns/op %8d allocs/op\n", res.NsPerOp, res.AllocsPerOp)
+	}
+	// The speedup pseudo-entry divides the two e13 gates so the ratio is
+	// recorded in the artifact itself: > 1 means the shard runtime turned
+	// cores into wall-clock. On a single-core runner (gomaxprocs 1) the
+	// honest expectation is ~1.0 — the gate is on determinism and absolute
+	// throughput there, not on parallel speedup it cannot have.
+	if s1, ok := out.Experiments["e13_k1m_shard1"]; ok {
+		if s8, ok := out.Experiments["e13_k1m_shard8"]; ok && s8.NsPerOp > 0 {
+			out.Experiments["e13_speedup_shard8_vs_shard1"] = benchResult{
+				Iterations:   1,
+				MsgsMetric:   float64(s1.NsPerOp) / float64(s8.NsPerOp),
+				MsgsMetricIs: "wall speedup (shard1 ns_per_op / shard8 ns_per_op)",
+				Shards:       8,
+			}
+		}
 	}
 	// chaos_smoke is new in PR 7: one seeded in-process chaos run of the
 	// live cluster (internal/chaos — kills, partitions, a zombie hold, a

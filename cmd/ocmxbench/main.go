@@ -6,13 +6,15 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11] [-seed N] [-full] [-parallel N] [-strict] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e13] [-seed N] [-full] [-parallel N] [-shards N] [-strict] [-json LABEL]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps; for E7 it extends the large-P sweep to
 // its full P=8..12 range (N=4096), for E9 it runs the lockspace at
-// N=256 with the instance sweep extended to 4096 keys, and for E10 it
-// extends the steady-state churn sweep to N=4096.
+// N=256 with the instance sweep extended to 4096 keys, for E10 it
+// extends the steady-state churn sweep to N=4096, and for E13 it runs
+// the sharded lockspace to its acceptance scale: one million keys at
+// N=256 and N=1024.
 //
 // -strict turns liveness columns into hard gates: any non-zero stuck
 // count (E3, E7, E10), STALLED outcome (E9) or open-cube violation
@@ -23,6 +25,11 @@
 // (0, the default, uses GOMAXPROCS; 1 forces the sequential sweep). The
 // tables are byte-identical for every N: cells are seeded from their
 // coordinates and assembled in sweep order.
+//
+// -shards N spreads each E13 cell's fixed 64-slice grid over N shard
+// workers (0, the default, uses GOMAXPROCS). Like -parallel it is purely
+// an execution knob: the E13 table is byte-identical for every N — only
+// wall-clock changes, reported on stderr so stdout stays diffable.
 //
 // -json LABEL measures the fixed performance suite instead of printing
 // tables and writes BENCH_LABEL.json (events/sec, ns/op, allocs/op and a
@@ -35,26 +42,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11")
+	exp := flag.String("exp", "all", "experiment to run: all, e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e13")
 	seed := flag.Int64("seed", 1993, "random seed")
 	full := flag.Bool("full", false, "paper-scale parameters (slower)")
 	par := flag.Int("parallel", 0, "experiment-cell workers (0 = GOMAXPROCS, 1 = sequential)")
+	shards := flag.Int("shards", 0, "shard workers per e13 cell (0 = GOMAXPROCS); never affects results")
 	strict := flag.Bool("strict", false, "fail on any stuck episode, stalled cell or in-model violation")
 	jsonLabel := flag.String("json", "", "measure the perf suite and write BENCH_<label>.json")
 	flag.Parse()
+
+	shardN := *shards
+	if shardN <= 0 {
+		shardN = runtime.GOMAXPROCS(0)
+	}
 
 	if *jsonLabel != "" {
 		// Perf suites always sweep sequentially: BENCH files exist to be
 		// divided against each other across PRs, and worker-pool speedup
 		// or scheduler jitter in ns_per_op would drown the engine signal.
+		// (The e13 shard1/shard8 pair is the deliberate exception — its
+		// entries fix their own shard counts to measure that speedup.)
 		harness.SetParallelism(1)
-		if err := benchJSON(*jsonLabel, *seed); err != nil {
+		if err := benchJSON(*jsonLabel, *seed, shardN); err != nil {
 			fmt.Fprintf(os.Stderr, "ocmxbench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -272,6 +288,28 @@ func main() {
 			return fmt.Errorf("lease reclaim: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "e11: live lease-reclaim latency (ttl=100ms, lossy loopback sessions): %v\n", lat)
+		return nil
+	})
+
+	run("e13", func() error {
+		start := time.Now()
+		rows, err := harness.E13Sharded(harness.E13Cells(*full), *seed, shardN, os.Stderr)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatE13(rows))
+		// Wall-clock and shard count go to stderr only: stdout must stay
+		// byte-identical across -shards settings (CI diffs it).
+		fmt.Fprintf(os.Stderr, "e13: swept %d cells with %d shard workers in %v\n",
+			len(rows), shardN, time.Since(start).Round(time.Millisecond))
+		if *strict {
+			for _, r := range rows {
+				if r.Stalled != 0 || r.Violations != 0 {
+					return fmt.Errorf("strict: e13 N=%d k=%d/%s stalled=%d violations=%d",
+						r.N, r.Keys, r.Skew, r.Stalled, r.Violations)
+				}
+			}
+		}
 		return nil
 	})
 }

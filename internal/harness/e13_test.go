@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// e13Render runs a shrunken E13 sweep at the given shard count and
+// returns the formatted table — the exact stdout artifact.
+func e13Render(t *testing.T, shards int) string {
+	t.Helper()
+	cells := []E13Cell{
+		{P: 3, Keys: 24, Skew: "uniform"},
+		{P: 3, Keys: 24, Skew: "zipf"},
+		{P: 4, Keys: 96, Skew: "zipf"},
+	}
+	rows, err := E13Sharded(cells, 42, shards, nil)
+	if err != nil {
+		t.Fatalf("E13 shards=%d: %v", shards, err)
+	}
+	return FormatE13(rows)
+}
+
+// TestE13DeterministicAcrossShardsAndWorkers pins the PR's headline
+// contract at the harness level: the E13 table is byte-identical for
+// any -shards count and any -parallel worker count. The shard count and
+// worker pool only decide scheduling; every cell's slices are seeded
+// from coordinates and merged in slice order.
+func TestE13DeterministicAcrossShardsAndWorkers(t *testing.T) {
+	SetParallelism(1)
+	base := e13Render(t, 1)
+	if !strings.Contains(base, "E13 —") || !strings.Contains(base, "completed") {
+		t.Fatalf("E13 table looks truncated:\n%s", base)
+	}
+	if strings.Contains(base, "STALLED") {
+		t.Fatalf("E13 smoke sweep stalled:\n%s", base)
+	}
+	for _, shards := range []int{8, 64} {
+		if got := e13Render(t, shards); got != base {
+			t.Errorf("shards=%d table diverges:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s", shards, base, shards, got)
+		}
+	}
+	SetParallelism(4)
+	defer SetParallelism(1)
+	if got := e13Render(t, 8); got != base {
+		t.Errorf("parallel=4/shards=8 table diverges:\n--- base ---\n%s\n--- got ---\n%s", base, got)
+	}
+}
+
+// TestE13CrashRecoversEverywhere pins the scenario semantics: the sweep
+// regenerates tokens (the hot-shard crash is live), never violates
+// safety, and reports the E9-flat msgs/CS on the larger cell.
+func TestE13CrashRecoversEverywhere(t *testing.T) {
+	rows, err := E13Sharded([]E13Cell{{P: 4, Keys: 96, Skew: "zipf"}}, 42, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Regens < 1 {
+		t.Errorf("regens=%d: hot-shard crash did not reach recovery", r.Regens)
+	}
+	if r.Violations != 0 || r.Stalled != 0 {
+		t.Errorf("violations=%d stalled=%d", r.Violations, r.Stalled)
+	}
+	if r.WaitP99 < r.WaitP50 || r.WaitP50 <= 0 {
+		t.Errorf("wait quantiles inconsistent: p50=%v p99=%v", r.WaitP50, r.WaitP99)
+	}
+}
+
+// TestE13ThroughputGate pins the BENCH entry behavior: a completed run
+// reports msgs and grants, and replays identically.
+func TestE13ThroughputGate(t *testing.T) {
+	cell := E13Cell{P: 3, Keys: 48, Skew: "zipf"}
+	m1, g1, err := E13Throughput(cell, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, g2, err := E13Throughput(cell, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 || g1 != g2 {
+		t.Errorf("shard-count replay diverged: (%d,%d) vs (%d,%d)", m1, g1, m2, g2)
+	}
+	if g1 == 0 || m1 == 0 {
+		t.Errorf("empty run: msgs=%d grants=%d", m1, g1)
+	}
+}

@@ -61,6 +61,35 @@ func KeyInstance(key string) uint64 {
 	return h
 }
 
+// InstanceShard routes an instance id to one of shards disjoint groups —
+// the shard router of the partitioned runtime (internal/shard, E13). It
+// re-hashes the id with the same FNV-1a discipline as KeyInstance (over
+// the id's little-endian bytes) instead of taking id % shards directly:
+// the simulated path uses DENSE instance ids, and a plain modulus would
+// stripe them into perfectly regular — and perfectly correlated —
+// groups, hiding exactly the hash-skew imbalance a production deployment
+// sees. Every node and every shard count derives the same routing
+// without coordination, like KeyInstance itself.
+func InstanceShard(id uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h ^= id & 0xff
+		h *= 1099511628211
+		id >>= 8
+	}
+	return int(h % uint64(shards))
+}
+
+// KeyShard routes a live lock key to its shard: the shard of the key's
+// instance id, so the live path and a sharded simulation that mirrors
+// its key population agree on placement.
+func KeyShard(key string, shards int) int {
+	return InstanceShard(KeyInstance(key), shards)
+}
+
 // Config describes one live lockspace node.
 type Config struct {
 	// Node is the per-instance state-machine template: Self and P name

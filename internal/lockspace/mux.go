@@ -3,6 +3,7 @@ package lockspace
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +29,18 @@ import (
 // because the mux peer owns the whole per-node slot space.
 const muxTimerKind = core.TimerSuspicion
 
+// denseSlotCap bounds the dense per-position slot array: up to this many
+// instances every position pre-allocates K slots (16 bytes each — the
+// layout every pre-sharding experiment was measured on, kept exactly so
+// the e9 BENCH gates stay bit-identical). Above it the space switches to
+// sparse slots keyed by instance id: at the sharded runtime's scale
+// (E13: millions of keys split into per-shard spaces of tens of
+// thousands) a dense array would cost 2^P·K slots per shard while the
+// lazily touched population is a few states per key, so the sparse map
+// tracks only what actually exists. Both representations are
+// behaviorally identical — TestSparseSlotsMatchDense pins it.
+const denseSlotCap = 4096
+
 // SpaceConfig describes a simulated lockspace.
 type SpaceConfig struct {
 	// P is the cube order; each instance runs on 2^P positions.
@@ -48,6 +61,10 @@ type SpaceConfig struct {
 	Recorder *trace.Recorder
 	// Logf, when set, receives a line per simulator action (debugging).
 	Logf func(format string, args ...any)
+
+	// forceSparse drops the dense-slot fast path regardless of Instances
+	// (test hook: the representations must be behaviorally identical).
+	forceSparse bool
 }
 
 // Space is a simulated keyed lock-space: K instances multiplexed over a
@@ -66,7 +83,8 @@ type Space struct {
 	staleTokens int64
 	states      int // (position, instance) machines actually instantiated
 
-	onGrant func(inst int, x ocube.Pos)
+	onGrant  func(inst int, x ocube.Pos)
+	onAccept func(inst int, x ocube.Pos)
 }
 
 // NewSpace builds the space with every instance in its pristine initial
@@ -94,7 +112,12 @@ func NewSpace(cfg SpaceConfig) (*Space, error) {
 			sp.peers = make([]*muxPeer, n)
 			out := make([]sim.Peer, n)
 			for i := range out {
-				p := &muxPeer{sp: sp, self: ocube.Pos(i), slots: make([]muxSlot, cfg.Instances)}
+				p := &muxPeer{sp: sp, self: ocube.Pos(i)}
+				if cfg.Instances <= denseSlotCap && !cfg.forceSparse {
+					p.slots = make([]muxSlot, cfg.Instances)
+				} else {
+					p.sparse = make(map[uint64]*muxSlot)
+				}
 				sp.peers[i] = p
 				out[i] = p
 			}
@@ -135,6 +158,14 @@ func (sp *Space) Run(maxTime time.Duration) bool { return sp.w.RunUntilQuiescent
 // OnGrant registers a callback invoked at every critical-section entry
 // of any instance. Set it before running.
 func (sp *Space) OnGrant(fn func(inst int, x ocube.Pos)) { sp.onGrant = fn }
+
+// OnRequest registers a callback invoked when an instance request is
+// accepted by its node's state machine (a duplicate wish while one is
+// still pending does not fire it). Paired with OnGrant it measures
+// accept→grant waiting time at the driver: a node has at most one
+// outstanding wish per instance, so per-(instance, node) accepts and
+// grants pair up FIFO. Set it before running.
+func (sp *Space) OnRequest(fn func(inst int, x ocube.Pos)) { sp.onAccept = fn }
 
 // Grants returns the critical sections served across all instances.
 func (sp *Space) Grants() int64 { return sp.grants }
@@ -184,12 +215,20 @@ type muxSlot struct {
 // sim.Peer seam. It implements the InstancePeer, TimerPeer, FailingPeer
 // and RecoveringPeer capabilities; grants are swallowed (see noteGrant)
 // and sends re-emitted as instance-tagged envelopes.
+//
+// Slots live in exactly one of two representations chosen at
+// construction (see denseSlotCap): the dense array indexed by instance,
+// or the sparse map plus the touched list recording instantiation.
+// Everything that iterates visits instances in ascending id order in
+// both modes, so the two replay identically.
 type muxPeer struct {
-	sp    *Space
-	self  ocube.Pos
-	slots []muxSlot // dense by instance — iteration order is the id order
-	wheel timerWheel
-	em    core.Emitter
+	sp      *Space
+	self    ocube.Pos
+	slots   []muxSlot           // dense by instance — iteration order is the id order
+	sparse  map[uint64]*muxSlot // sparse by instance id (nil when dense)
+	touched []uint64            // sparse mode: every instantiated id, unordered
+	wheel   timerWheel
+	em      core.Emitter
 
 	gen     uint64 // engine-facing timer generation
 	armed   bool
@@ -197,10 +236,24 @@ type muxPeer struct {
 	busyN   int
 }
 
+// slot returns the instance's slot, or nil when the instance was never
+// touched at this position (sparse mode only — dense slots all exist).
+func (p *muxPeer) slot(inst uint64) *muxSlot {
+	if p.slots != nil {
+		return &p.slots[int(inst)-1]
+	}
+	return p.sparse[inst]
+}
+
 // ensure returns the instance's state machine, instantiating it
 // pristine on first touch.
 func (p *muxPeer) ensure(inst uint64) *core.Node {
-	s := &p.slots[int(inst)-1]
+	s := p.slot(inst)
+	if s == nil {
+		s = &muxSlot{}
+		p.sparse[inst] = s
+		p.touched = append(p.touched, inst)
+	}
 	if s.node == nil {
 		cfg := p.sp.cfg.Node
 		cfg.Self, cfg.P = p.self, p.sp.cfg.P
@@ -217,7 +270,10 @@ func (p *muxPeer) ensure(inst uint64) *core.Node {
 
 // touch refreshes the instance's cached busy bit.
 func (p *muxPeer) touch(inst uint64) {
-	s := &p.slots[int(inst)-1]
+	s := p.slot(inst)
+	if s == nil {
+		return
+	}
 	b := s.node != nil && s.node.Busy()
 	if b != s.busy {
 		s.busy = b
@@ -269,10 +325,11 @@ func (p *muxPeer) rearm() {
 // release ends an instance's simulated critical section (wheel-driven,
 // the analogue of the Network's evRelease).
 func (p *muxPeer) release(inst uint64) {
-	node := p.slots[int(inst)-1].node
-	if node == nil {
+	s := p.slot(inst)
+	if s == nil || s.node == nil {
 		return
 	}
+	node := s.node
 	effs, err := node.ReleaseCS()
 	if err != nil {
 		// The instance is no longer in the CS this release was scheduled
@@ -315,7 +372,7 @@ func (p *muxPeer) Busy() bool { return p.busyN > 0 }
 // HandleEnvelope delivers one instance's protocol message.
 func (p *muxPeer) HandleEnvelope(env core.Envelope) []core.Effect {
 	p.em.Begin()
-	if env.Instance == core.NoInstance || int(env.Instance) > len(p.slots) {
+	if env.Instance == core.NoInstance || int(env.Instance) > p.sp.cfg.Instances {
 		panic(fmt.Sprintf("lockspace: envelope instance %d out of range at %v", env.Instance, p.self))
 	}
 	node := p.ensure(env.Instance)
@@ -328,13 +385,16 @@ func (p *muxPeer) HandleEnvelope(env core.Envelope) []core.Effect {
 // RequestInstanceCS registers the local wish to lock an instance.
 func (p *muxPeer) RequestInstanceCS(inst uint64) ([]core.Effect, error) {
 	p.em.Begin()
-	if inst == core.NoInstance || int(inst) > len(p.slots) {
+	if inst == core.NoInstance || int(inst) > p.sp.cfg.Instances {
 		return nil, fmt.Errorf("lockspace: instance %d out of range at %v", inst, p.self)
 	}
 	node := p.ensure(inst)
 	effs, err := node.RequestCS()
 	if err != nil {
 		return nil, err
+	}
+	if p.sp.onAccept != nil {
+		p.sp.onAccept(int(inst)-1, p.self)
 	}
 	p.translate(inst, effs)
 	p.touch(inst)
@@ -363,10 +423,11 @@ func (p *muxPeer) HandleTimer(_ core.TimerKind, gen uint64) []core.Effect {
 			p.release(ent.inst)
 			continue
 		}
-		node := p.slots[int(ent.inst)-1].node
-		if node == nil || node.TimerGen(ent.kind) != ent.gen {
+		s := p.slot(ent.inst)
+		if s == nil || s.node == nil || s.node.TimerGen(ent.kind) != ent.gen {
 			continue // dead: cancelled or superseded since it was scheduled
 		}
+		node := s.node
 		p.translate(ent.inst, node.HandleTimer(ent.kind, ent.gen))
 		p.touch(ent.inst)
 	}
@@ -382,16 +443,25 @@ func (p *muxPeer) TimerGen(core.TimerKind) uint64 { return p.gen }
 // Failed settles the crash instant: instances in their critical section
 // release their occupancy (their grant died with the node), every local
 // deadline is void, and the busy cache is zeroed (a down node never
-// reports busy).
+// reports busy). Per-instance settlement is independent, so the visit
+// order (dense index order vs sparse touch order) is immaterial.
 func (p *muxPeer) Failed() {
-	for i := range p.slots {
-		s := &p.slots[i]
+	settle := func(s *muxSlot, idx int) {
 		if s.node != nil && s.node.InCS() {
-			if p.sp.occupancy[i] > 0 {
-				p.sp.occupancy[i]--
+			if p.sp.occupancy[idx] > 0 {
+				p.sp.occupancy[idx]--
 			}
 		}
 		s.busy = false
+	}
+	if p.slots != nil {
+		for i := range p.slots {
+			settle(&p.slots[i], i)
+		}
+	} else {
+		for _, inst := range p.touched {
+			settle(p.sparse[inst], int(inst)-1)
+		}
 	}
 	p.busyN = 0
 	p.wheel.clear()
@@ -400,17 +470,27 @@ func (p *muxPeer) Failed() {
 
 // Recover restarts every instantiated instance through its Section 5
 // rejoin, in instance order (deterministic replay requires a fixed
-// iteration order — the dense slot slice provides it).
+// iteration order — the dense slot slice provides it, and the sparse
+// mode sorts its touched ids to visit the identical sequence).
 func (p *muxPeer) Recover() []core.Effect {
 	p.em.Begin()
-	for i := range p.slots {
-		node := p.slots[i].node
+	recover1 := func(inst uint64, node *core.Node) {
 		if node == nil {
-			continue
+			return
 		}
-		inst := uint64(i) + 1
 		p.translate(inst, node.Recover())
 		p.touch(inst)
+	}
+	if p.slots != nil {
+		for i := range p.slots {
+			recover1(uint64(i)+1, p.slots[i].node)
+		}
+	} else {
+		insts := append([]uint64(nil), p.touched...)
+		sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+		for _, inst := range insts {
+			recover1(inst, p.sparse[inst].node)
+		}
 	}
 	p.rearm()
 	return p.em.Take()

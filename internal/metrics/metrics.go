@@ -25,10 +25,21 @@ type Summary struct {
 }
 
 // Merge folds every sample of other into s — the deterministic way to
-// combine per-cell summaries computed on a worker pool: merge them in a
-// fixed order after the sweep instead of sharing one summary across
-// workers. other is left unchanged.
+// combine per-cell or per-shard summaries computed on a worker pool:
+// merge them in a fixed order after the sweep instead of sharing one
+// summary across workers. other is left unchanged.
+//
+// Merging is sample-exact, which gives the sharded path (E13) the
+// guarantees its zero-traffic shards need: an empty or zero-grant
+// shard's summary contributes NOTHING — no phantom zero sample — so it
+// cannot drag p50/p99 wait percentiles down or poison Min to 0. Merge
+// order does not affect any reported statistic (quantiles sort, moments
+// commute); nil and self merges are no-ops. TestSummaryMergeTable pins
+// all of these.
 func (s *Summary) Merge(other *Summary) {
+	if other == nil || other == s {
+		return
+	}
 	other.mu.Lock()
 	samples := append([]float64(nil), other.samples...)
 	other.mu.Unlock()

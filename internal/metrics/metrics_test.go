@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSummaryBasics(t *testing.T) {
@@ -103,5 +104,106 @@ func TestSummaryPropertyMeanBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSummaryMergeTable is the sharded-merge contract (E13): merging
+// empty or zero-grant shard summaries must not poison percentiles, Min
+// or Mean; merge order must not change any reported statistic; nil and
+// self merges are no-ops.
+func TestSummaryMergeTable(t *testing.T) {
+	build := func(vals ...float64) *Summary {
+		s := &Summary{}
+		for _, v := range vals {
+			s.Observe(v)
+		}
+		return s
+	}
+	type stats struct {
+		count                    int
+		mean, min, max, p50, p99 float64
+	}
+	read := func(s *Summary) stats {
+		return stats{s.Count(), s.Mean(), s.Min(), s.Max(), s.Quantile(0.5), s.Quantile(0.99)}
+	}
+	cases := []struct {
+		name   string
+		into   *Summary
+		others []*Summary
+		want   stats
+	}{
+		{"empty into empty", build(), []*Summary{build()},
+			stats{0, 0, 0, 0, 0, 0}},
+		{"empty shard into full", build(3, 1, 4), []*Summary{build()},
+			stats{3, 8.0 / 3, 1, 4, 3, 4}},
+		{"full into empty", build(), []*Summary{build(3, 1, 4)},
+			stats{3, 8.0 / 3, 1, 4, 3, 4}},
+		{"single-sample shard", build(10), []*Summary{build(2)},
+			stats{2, 6, 2, 10, 2, 10}},
+		{"nil shard", build(5), []*Summary{nil},
+			stats{1, 5, 5, 5, 5, 5}},
+		{"many shards, one empty, min preserved", build(7, 9), []*Summary{build(), build(2, 8), build(11)},
+			stats{5, 37.0 / 5, 2, 11, 8, 11}},
+	}
+	for _, tc := range cases {
+		for _, s := range tc.others {
+			tc.into.Merge(s)
+		}
+		if got := read(tc.into); got != tc.want {
+			t.Errorf("%s: got %+v want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSummaryMergeOrderInvariant pins that shard merge order (and a
+// pre-merge sorted read on a source) never changes quantiles, moments
+// or extrema — only the deterministic slice-order merge discipline
+// makes sharded tables reproducible, but the STATISTICS must not depend
+// on it.
+func TestSummaryMergeOrderInvariant(t *testing.T) {
+	shards := [][]float64{{5, 3}, {}, {9, 1, 7}, {4}, {}}
+	forward, backward := &Summary{}, &Summary{}
+	for i := range shards {
+		s := &Summary{}
+		for _, v := range shards[i] {
+			s.Observe(v)
+		}
+		forward.Merge(s)
+	}
+	for i := len(shards) - 1; i >= 0; i-- {
+		s := &Summary{}
+		for _, v := range shards[i] {
+			s.Observe(v)
+		}
+		_ = s.Quantile(0.5) // a sorted read before merging must be harmless
+		backward.Merge(s)
+	}
+	type key struct{ count, mean, min, max, p50, p99 float64 }
+	k := func(s *Summary) key {
+		return key{float64(s.Count()), s.Mean(), s.Min(), s.Max(), s.Quantile(0.5), s.Quantile(0.99)}
+	}
+	if k(forward) != k(backward) {
+		t.Errorf("merge order changed statistics: %+v vs %+v", k(forward), k(backward))
+	}
+}
+
+// TestSummaryMergeSelf pins the self-merge guard: folding a summary
+// into itself must not deadlock or double its samples.
+func TestSummaryMergeSelf(t *testing.T) {
+	s := &Summary{}
+	s.Observe(1)
+	s.Observe(2)
+	done := make(chan struct{})
+	go func() {
+		s.Merge(s)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("self-merge deadlocked")
+	}
+	if s.Count() != 2 {
+		t.Errorf("self-merge changed count to %d", s.Count())
 	}
 }

@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// testConfig is a small but fully featured sharded run: FT nodes, Zipf
+// skew, the hot-shard crash — everything E13 uses, shrunk to test size.
+func testConfig(p, keys, shards int) Config {
+	delta := time.Millisecond
+	return Config{
+		P:          p,
+		Keys:       keys,
+		Shards:     shards,
+		Skew:       "zipf",
+		ZipfS:      1.1,
+		ReqsPerKey: 6,
+		Spacing:    time.Duration(4*p+8) * delta,
+		Settle:     32000 * delta,
+		Node: core.Config{
+			FT:             true,
+			Delta:          delta,
+			CSEstimate:     delta,
+			SuspicionSlack: time.Duration(40+8*p) * delta,
+		},
+		Delay: sim.UniformDelay(delta/2, delta),
+		CSTime: func(rng *rand.Rand) time.Duration {
+			return time.Duration(rng.Int63n(int64(delta)))
+		},
+		Seed:         99,
+		CrashHot:     true,
+		CrashRecover: 400 * delta,
+	}
+}
+
+// fingerprint flattens every deterministic field of a Result, including
+// the merged wait distribution, for exact cross-shard-count comparison.
+func fingerprint(r Result) [16]float64 {
+	return [16]float64{
+		float64(r.Requests), float64(r.Grants), float64(r.Msgs),
+		float64(r.Regens), float64(r.Stale), float64(r.Violations),
+		float64(r.States), float64(r.Stalled), float64(r.Events),
+		float64(r.Waits.Count()), r.Waits.Mean(), r.Waits.Stddev(),
+		r.Waits.Min(), r.Waits.Quantile(0.5), r.Waits.Quantile(0.99),
+		r.Waits.Max(),
+	}
+}
+
+// TestRunDeterministicAcrossShardCounts is the tentpole contract: the
+// merged result — counters and the full wait distribution — is
+// identical for any shard count, because the slice grid is fixed and
+// merge order is slice order, never finish order.
+func TestRunDeterministicAcrossShardCounts(t *testing.T) {
+	var base [16]float64
+	for i, shards := range []int{1, 5, 8, Slices + 7} {
+		res, err := Run(testConfig(3, 96, shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		fp := fingerprint(res)
+		if i == 0 {
+			base = fp
+			if res.Grants == 0 {
+				t.Fatal("run produced no grants; test config too small")
+			}
+			continue
+		}
+		if fp != base {
+			t.Errorf("shards=%d result diverges from shards=1:\n  base=%v\n  got =%v", shards, base, fp)
+		}
+	}
+}
+
+// TestRunRepeatable pins replay: the same config replays to the same
+// result, and a different root seed moves it (the streams really do
+// depend on the seed, not on wall-clock state).
+func TestRunRepeatable(t *testing.T) {
+	a, err := Run(testConfig(3, 48, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testConfig(3, 48, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Error("identical configs produced different results")
+	}
+	cfg := testConfig(3, 48, 4)
+	cfg.Seed++
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) == fingerprint(c) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+// TestRunEmptySlices runs fewer keys than slices so most slices are
+// empty, pinning that empty shards merge as true zeros: no phantom wait
+// samples, Min untouched (the Summary.Merge fix under live load).
+func TestRunEmptySlices(t *testing.T) {
+	cfg := testConfig(3, 5, 8)
+	cfg.CrashHot = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Grants == 0 {
+		t.Fatal("no grants")
+	}
+	if res.Requests != int(res.Waits.Count()) {
+		t.Errorf("requests=%d but wait samples=%d: empty slices must contribute no phantom samples",
+			res.Requests, res.Waits.Count())
+	}
+	if res.Waits.Mean() <= 0 {
+		t.Errorf("wait mean=%v: contended zipf run should show nonzero waiting", res.Waits.Mean())
+	}
+	if res.Violations != 0 || res.Stalled != 0 {
+		t.Errorf("violations=%d stalled=%d on a crash-free run", res.Violations, res.Stalled)
+	}
+}
+
+// TestRunCrashHot pins the E13 failure scenario: the crash fires only in
+// the slice owning global key 0, recovery regenerates the token there,
+// and safety holds everywhere.
+func TestRunCrashHot(t *testing.T) {
+	res, err := Run(testConfig(3, 96, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regens < 1 {
+		t.Errorf("regens=%d: hot-shard crash did not trigger token regeneration", res.Regens)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations=%d after crash/recovery", res.Violations)
+	}
+	if res.Stalled != 0 {
+		t.Errorf("stalled=%d: recovery did not quiesce in the settle window", res.Stalled)
+	}
+
+	off := testConfig(3, 96, 4)
+	off.CrashHot = false
+	quiet, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Regens != 0 {
+		t.Errorf("regens=%d without CrashHot", quiet.Regens)
+	}
+	if quiet.Msgs >= res.Msgs {
+		t.Errorf("crash run msgs %d not above failure-free %d: recovery traffic missing", res.Msgs, quiet.Msgs)
+	}
+}
+
+// TestRunProgressReporting pins the observability satellite: Progress
+// receives shard-level throughput lines, and wiring it changes nothing
+// in the merged result.
+func TestRunProgressReporting(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig(3, 48, 3)
+	cfg.Progress = &buf
+	withProgress, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testConfig(3, 48, 3)
+	silent, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(withProgress) != fingerprint(silent) {
+		t.Error("Progress reporting changed the merged result")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "goroutines=") || !strings.Contains(out, "events/s") {
+		t.Errorf("progress output missing throughput/goroutine report:\n%s", out)
+	}
+	if got := len(withProgress.PerShard); got != 3 {
+		t.Errorf("PerShard has %d entries, want 3", got)
+	}
+	var events uint64
+	for _, s := range withProgress.PerShard {
+		events += s.Events
+	}
+	if events != withProgress.Events {
+		t.Errorf("per-shard events sum %d != total %d", events, withProgress.Events)
+	}
+}
+
+// TestRunRejectsBadConfig pins input validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := testConfig(3, 8, 1)
+	cfg.Keys = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("Keys=0 accepted")
+	}
+	cfg = testConfig(3, 8, 1)
+	cfg.Skew = "bimodal"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown skew accepted")
+	}
+}

