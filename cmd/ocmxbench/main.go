@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e13] [-seed N] [-full] [-parallel N] [-shards N] [-strict] [-json LABEL]
+//	ocmxbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|e11|e13] [-seed N] [-full] [-parallel N] [-shards N] [-strict] [-json LABEL] [-progress] [-obs FILE]
 //
 // -full runs E3 at the paper's scale (300 failures at N=32, 200 at N=64)
 // and extends the size sweeps; for E7 it extends the large-P sweep to
@@ -36,16 +36,26 @@
 // protocol metric per experiment), the artifact used to track engine
 // performance across PRs. Perf suites ignore -parallel and always sweep
 // sequentially so two BENCH files stay comparable.
+//
+// -progress reports per-shard wall-clock progress (E13) on stderr; it is
+// off by default so quiet runs stay quiet. -obs FILE attaches flight
+// recorders to every simulated network, routes E13 stall autopsies to
+// stderr, and writes a Prometheus-text metrics snapshot of the run to
+// FILE at exit. Both are execution knobs: stdout is byte-identical with
+// them on or off (CI cmp-gates this), and -json ignores them — the perf
+// suite measures the uninstrumented engine. See DESIGN.md §14.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -56,6 +66,8 @@ func main() {
 	shards := flag.Int("shards", 0, "shard workers per e13 cell (0 = GOMAXPROCS); never affects results")
 	strict := flag.Bool("strict", false, "fail on any stuck episode, stalled cell or in-model violation")
 	jsonLabel := flag.String("json", "", "measure the perf suite and write BENCH_<label>.json")
+	progress := flag.Bool("progress", false, "report per-shard wall-clock progress on stderr (e13)")
+	obsPath := flag.String("obs", "", "attach flight recorders and write a Prometheus metrics snapshot to this file at exit")
 	flag.Parse()
 
 	shardN := *shards
@@ -78,11 +90,28 @@ func main() {
 	}
 	harness.SetParallelism(*par)
 
+	// -obs is a table-mode knob: flight recorders on every simulated
+	// network, E13 stall autopsies to stderr, and a run-scoped metrics
+	// snapshot at exit. Nothing it does may reach stdout.
+	var obsReg *obs.Registry
+	if *obsPath != "" {
+		obsReg = obs.NewRegistry()
+		harness.SetObs(obs.DefaultFlightDepth, os.Stderr)
+	}
+
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
-		if err := fn(); err != nil {
+		start := time.Now()
+		err := fn()
+		if obsReg != nil {
+			obsReg.Counter("ocmx_experiments_total",
+				"Experiments executed this run.", "exp", name).Inc()
+			obsReg.Gauge("ocmx_experiment_seconds",
+				"Wall-clock duration of the experiment.", "exp", name).Set(time.Since(start).Seconds())
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "ocmxbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -293,7 +322,13 @@ func main() {
 
 	run("e13", func() error {
 		start := time.Now()
-		rows, err := harness.E13Sharded(harness.E13Cells(*full), *seed, shardN, os.Stderr)
+		// Shard progress is opt-in: quiet runs stay quiet, and with -obs
+		// the line/byte volume of the reporting is itself metered.
+		var progressW io.Writer
+		if *progress {
+			progressW = obs.NewProgress(os.Stderr, obsReg)
+		}
+		rows, err := harness.E13Sharded(harness.E13Cells(*full), *seed, shardN, progressW)
 		if err != nil {
 			return err
 		}
@@ -312,4 +347,20 @@ func main() {
 		}
 		return nil
 	})
+
+	if obsReg != nil {
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ocmxbench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		werr := obsReg.WriteProm(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ocmxbench: obs: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 }

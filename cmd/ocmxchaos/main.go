@@ -6,6 +6,7 @@
 //	ocmxchaos local [-p 3] [-duration 60s] [-seed 1] [-keys 64] [-zipf 1.1]
 //	                [-clients 2] [-ttl 250ms] [-kills 3] [-partitions 2]
 //	                [-patience 15s] [-strict] [-v] [-json]
+//	                [-metrics host:port] [-autopsy FILE]
 //
 // runs the whole cluster in-process: goroutine nodes over an in-memory
 // session mesh, Zipf-keyed client traffic, seeded kills / partitions /
@@ -16,6 +17,7 @@
 //
 //	ocmxchaos node -self 0 -addrs host0:7000,host1:7000,... -dir /data
 //	               [-ttl 250ms] [-keys 64] [-zipf 1.1] [-hold 2ms] [-seed 1]
+//	               [-metrics host:port]
 //
 // runs ONE cluster member as a real OS process over TCP: a lockspace
 // node plus its own Zipf client loop, emitting one JSON event per line
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/props"
 )
 
@@ -104,6 +107,8 @@ func runLocal(args []string) error {
 	strict := fs.Bool("strict", false, "unreached coverage fails the run (CI gate)")
 	verbose := fs.Bool("v", false, "log fault injections as they happen")
 	asJSON := fs.Bool("json", false, "print a JSON summary line after the report")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address during the run")
+	autopsyPath := fs.String("autopsy", "", "write a JSONL autopsy here when the verdict fails")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +130,26 @@ func runLocal(args []string) error {
 		cfg.Log = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		}
+	}
+	if *metricsAddr != "" || *autopsyPath != "" {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Flight = obs.NewFlight(obs.DefaultFlightDepth)
+	}
+	if *metricsAddr != "" {
+		srv, addr, err := obs.Serve(*metricsAddr, cfg.Metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ocmxchaos: serving /metrics and /debug/pprof/ on http://%s\n", addr)
+	}
+	if *autopsyPath != "" {
+		f, err := os.Create(*autopsyPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Autopsy = f
 	}
 	res, err := chaos.Run(cfg)
 	if err != nil {

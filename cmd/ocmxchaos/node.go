@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lockspace"
+	"repro/internal/obs"
 	"repro/internal/ocube"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -63,6 +64,7 @@ func runNode(args []string) error {
 	patience := fs.Duration("patience", 15*time.Second, "per-lock stuck threshold")
 	seed := fs.Int64("seed", 1, "client pacing seed")
 	delta := fs.Duration("delta", 50*time.Millisecond, "failure-detector message-delay bound")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +102,13 @@ func runNode(args []string) error {
 	}
 	defer stable.Close()
 
+	var reg *obs.Registry
+	var fl *obs.Flight
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		fl = obs.NewFlight(obs.DefaultFlightDepth)
+	}
+
 	link, err := transport.NewSessTCP(ocube.Pos(*self), addrs)
 	if err != nil {
 		return err
@@ -115,12 +124,41 @@ func runNode(args []string) error {
 		LeaseTTL:  *ttl,
 		Rejoin:    rejoin,
 		Stable:    stable,
+		Metrics:   reg,
+		Flight:    fl,
 	})
 	if err != nil {
 		sess.Close()
 		return err
 	}
 	defer func() { space.Close(); sess.Close() }()
+
+	if reg != nil {
+		// Per-peer session health, read from the live session at scrape
+		// time (PeerStats returns zero values for quiet peers).
+		selfLabel := strconv.Itoa(*self)
+		for pos := range addrs {
+			if pos == ocube.Pos(*self) {
+				continue
+			}
+			pos := pos
+			peerLabel := strconv.Itoa(int(pos))
+			reg.CounterFunc("ocmx_session_retransmits_total",
+				"Reliable-session data frames sent again after a timeout.",
+				func() float64 { return float64(sess.PeerStats()[pos].Retransmits) },
+				"node", selfLabel, "peer", peerLabel)
+			reg.CounterFunc("ocmx_session_dup_drops_total",
+				"Received session data frames discarded as duplicates.",
+				func() float64 { return float64(sess.PeerStats()[pos].DupDrops) },
+				"node", selfLabel, "peer", peerLabel)
+		}
+		srv, maddr, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ocmxchaos: node %d serving /metrics and /debug/pprof/ on http://%s\n", *self, maddr)
+	}
 
 	zipf, err := workload.NewZipf(*keys, *zipfS)
 	if err != nil {

@@ -14,12 +14,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/lockspace"
+	"repro/internal/obs"
 	"repro/internal/props"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -114,6 +117,19 @@ type Config struct {
 	// Strict turns unreached Sometimes/Reachable assertions into run
 	// failures (the CI gate).
 	Strict bool
+	// Metrics, when set, receives every member lockspace's live series
+	// (grants, locks held, waiter depth, lease reclaims and their
+	// latency, labeled by node) plus per-node session retransmit and
+	// dup-drop counters sampled at scrape time. cmd/ocmxchaos serves it
+	// over HTTP with -metrics.
+	Metrics *obs.Registry
+	// Flight, when set, records every member's token lineage stamped
+	// with wall-clock time; it is what gives an Autopsy its lineage.
+	Flight *obs.Flight
+	// Autopsy, when set, receives a JSONL autopsy when the run's verdict
+	// fails: the failing assertions, the offending keys' full token
+	// lineage, and the final cluster census as state lines.
+	Autopsy io.Writer
 	// Log, when set, receives progress lines.
 	Log func(format string, args ...any)
 }
@@ -237,6 +253,20 @@ func Run(cfg Config) (*Result, error) {
 		d.members[i] = newMember(d, i)
 		d.members[i].start(false)
 	}
+	if cfg.Metrics != nil {
+		// Session counters are read at scrape time through the member, so
+		// they stay monotone across kills and restarts (see sessionStats).
+		for i, m := range d.members {
+			m := m
+			label := strconv.Itoa(i)
+			cfg.Metrics.CounterFunc("ocmx_session_retransmits_total",
+				"Reliable-session data frames sent again after a timeout.",
+				func() float64 { return float64(m.sessionStats().Retransmits) }, "node", label)
+			cfg.Metrics.CounterFunc("ocmx_session_dup_drops_total",
+				"Received session data frames discarded as duplicates.",
+				func() float64 { return float64(m.sessionStats().DupDrops) }, "node", label)
+		}
+	}
 	d.trafficCtx, d.trafficCancel = context.WithCancel(context.Background())
 
 	plan := cfg.Faults
@@ -285,16 +315,23 @@ func Run(cfg Config) (*Result, error) {
 	census := d.census()
 	d.props.Finish(drained, census)
 
-	for _, m := range d.members {
-		m.kill()
-	}
-
 	res.Report = d.props.Collector().Report()
 	res.Totals = d.props.Totals()
 	res.Coverage = d.props.Collector().Coverage()
 	res.Drained = drained
-	res.Wall = time.Since(d.start)
 	res.Err = d.props.Collector().Err(cfg.Strict)
+	if cfg.Autopsy != nil && res.Err != nil {
+		// Members are still up: the autopsy's state lines come from a live
+		// cluster census of the offending instances.
+		if err := d.writeAutopsy(cfg.Autopsy, res); err != nil {
+			cfg.Log("chaos: autopsy write failed: %v", err)
+		}
+	}
+
+	for _, m := range d.members {
+		m.kill()
+	}
+	res.Wall = time.Since(d.start)
 	cfg.Log("chaos: done in %v: %d grants, %d reclaims (max %v), coverage %.0f%%",
 		res.Wall.Round(time.Millisecond), res.Totals.Grants, res.Totals.Reclaims,
 		res.Totals.MaxReclaim.Round(time.Millisecond), 100*res.Coverage)

@@ -28,6 +28,9 @@ type member struct {
 	sess  *transport.Session
 	space *lockspace.Lockspace
 	alive bool
+	// prev accumulates the session counters of dead incarnations, so the
+	// scrape-time metric funcs stay monotone across kills and restarts.
+	prev transport.SessionStats
 }
 
 func newMember(d *driver, pos int) *member {
@@ -73,6 +76,8 @@ func (m *member) start(rejoin bool) {
 		LeaseTTL:  cfg.LeaseTTL,
 		Rejoin:    rejoin,
 		Stable:    m.stable,
+		Metrics:   cfg.Metrics,
+		Flight:    cfg.Flight,
 	})
 	if err != nil {
 		// The template is static and validated by every test; a failure
@@ -100,7 +105,26 @@ func (m *member) kill() {
 	}
 	m.alive = false
 	space, sess := m.space, m.sess
+	st := sess.Stats()
+	m.prev.Retransmits += st.Retransmits
+	m.prev.DupDrops += st.DupDrops
 	m.mu.Unlock()
 	space.Close()
 	sess.Close()
+}
+
+// sessionStats returns the member's cumulative session counters across
+// every incarnation: dead boots' totals plus the live session's. The
+// result only ever grows, which is what lets the /metrics scrape expose
+// it as a pair of counters.
+func (m *member) sessionStats() transport.SessionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.prev
+	if m.alive {
+		st := m.sess.Stats()
+		out.Retransmits += st.Retransmits
+		out.DupDrops += st.DupDrops
+	}
+	return out
 }

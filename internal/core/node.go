@@ -68,6 +68,13 @@ type Config struct {
 	// its loss is left to the §4/§5 watchdogs to repair. Off by default
 	// so every recorded trace keeps its exact epoch-transparent behavior.
 	EpochFence bool
+	// Observe, when set, receives a TokenEvent for every protocol event
+	// this node takes part in (requests, token movement, grants,
+	// regenerations, stale sightings) — the feed of the internal/obs
+	// flight recorder. Purely observational and nil-checked at every
+	// emission site: a nil Observe costs one predictable branch and
+	// changes no behavior, allocation, or message.
+	Observe func(TokenEvent)
 }
 
 func (c Config) validate() error {
@@ -314,6 +321,9 @@ func (n *Node) take() []Effect {
 
 func (n *Node) send(m Message) {
 	m.From = n.cfg.Self
+	if n.cfg.Observe != nil {
+		n.observeSend(m)
+	}
 	n.arena.sends = append(n.arena.sends, Send{Msg: m})
 	n.effects = append(n.effects, &n.arena.sends[len(n.arena.sends)-1])
 }
@@ -321,6 +331,12 @@ func (n *Node) send(m Message) {
 func (n *Node) emitGrant(lender ocube.Pos) {
 	n.fenceCtr++
 	fence := uint64(n.tokenEpoch)<<32 | uint64(n.fenceCtr)
+	if n.cfg.Observe != nil {
+		n.cfg.Observe(TokenEvent{
+			Kind: TokenEvGrant, Self: n.cfg.Self, Peer: lender,
+			Epoch: n.tokenEpoch, Fence: fence,
+		})
+	}
 	n.arena.grants = append(n.arena.grants, Grant{Lender: lender, Fence: fence})
 	n.effects = append(n.effects, &n.arena.grants[len(n.arena.grants)-1])
 }
@@ -331,11 +347,24 @@ func (n *Node) emitDropped(m Message, reason string) {
 }
 
 func (n *Node) emitRegenerated(reason string) {
+	if n.cfg.Observe != nil {
+		n.cfg.Observe(TokenEvent{
+			Kind: TokenEvRegenerated, Self: n.cfg.Self, Peer: ocube.None,
+			Epoch: n.epoch, Reason: reason,
+		})
+	}
 	n.arena.regens = append(n.arena.regens, TokenRegenerated{Reason: reason, Epoch: n.epoch})
 	n.effects = append(n.effects, &n.arena.regens[len(n.arena.regens)-1])
 }
 
 func (n *Node) emitStaleToken(m Message) {
+	if n.cfg.Observe != nil {
+		n.cfg.Observe(TokenEvent{
+			Kind: TokenEvStale, Self: n.cfg.Self, Peer: m.From,
+			Epoch: m.Epoch, Fence: composeFence(m.Epoch, m.Fence),
+			Reason: "stale-epoch token discarded",
+		})
+	}
 	// No arena: sightings require a raced regeneration first, so they are
 	// rare by construction, and a heap allocation here is cheaper than a
 	// permanent arena header on every node of every network.

@@ -114,6 +114,7 @@ func runE11(p int, reqs []workload.Request, seed int64, loss float64, crash, ses
 		Delay:    sim.LossyDelay(loss, sim.UniformDelay(delta/2, delta)),
 		CSTime:   csTime(delta),
 		Recorder: rec,
+		Flight:   obsFlight(),
 	}
 	if session {
 		cfg.Session = e11Session()

@@ -94,7 +94,10 @@ func e13Config(c E13Cell, seed int64) shard.Config {
 	}
 	node := ftNodeConfig()
 	node.SuspicionSlack += time.Duration(8*c.P) * delta
+	flightDepth, autopsy := obsOptions()
 	return shard.Config{
+		FlightDepth:  flightDepth,
+		Autopsy:      autopsy,
 		P:            c.P,
 		Keys:         c.Keys,
 		Skew:         c.Skew,

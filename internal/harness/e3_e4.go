@@ -62,6 +62,7 @@ func e3Run(p, failures int, seed int64, paperMode bool) (E3Row, error) {
 		Node:     nodeCfg,
 		Recorder: rec,
 		CSTime:   csTime(delta),
+		Flight:   obsFlight(),
 	})
 	if err != nil {
 		return E3Row{}, err
@@ -209,10 +210,11 @@ func E4SearchCost(ps []int, trials int, seed int64) ([]E4Row, error) {
 			victim := ocube.InitialFather(requester)
 			var got []searchOutcome
 			w, err := sim.New(sim.Config{
-				P:     p,
-				Seed:  seed ^ int64(trial),
-				Delay: sim.FixedDelay(delta),
-				Node:  ftNodeConfig(),
+				P:      p,
+				Seed:   seed ^ int64(trial),
+				Delay:  sim.FixedDelay(delta),
+				Node:   ftNodeConfig(),
+				Flight: obsFlight(),
 				OnEffect: func(node ocube.Pos, e core.Effect) {
 					if se, ok := e.(*core.SearchEnded); ok && node == requester {
 						got = append(got, searchOutcome{father: se.Father, tested: se.Tested})

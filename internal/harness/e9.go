@@ -158,6 +158,7 @@ func runE9(p, keys int, skew string, seed int64) (E9Row, int64, error) {
 		Delay:     sim.UniformDelay(delta/2, delta),
 		CSTime:    csTime(delta),
 		Recorder:  rec,
+		Flight:    obsFlight(),
 	})
 	if err != nil {
 		return row, 0, err

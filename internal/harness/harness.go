@@ -47,6 +47,7 @@ func newNetwork(p int, seed int64, rec *trace.Recorder, pol core.Policy) (*sim.N
 		Delay:    sim.FixedDelay(delta),
 		Recorder: rec,
 		Node:     core.Config{Policy: pol},
+		Flight:   obsFlight(),
 	})
 }
 

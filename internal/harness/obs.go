@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Sweep observability is a package-level option like SetParallelism:
+// ocmxbench's -obs flag installs it once, and every sweep the run
+// touches picks it up. Everything here is purely observational — the
+// CI obs-smoke step cmps e3/e9/e11/e13 stdout with it on and off.
+
+var (
+	obsMu          sync.Mutex
+	obsFlightDepth int
+	obsAutopsy     io.Writer
+)
+
+// SetObs configures sweep observability: flightDepth > 0 attaches a
+// bounded token-lineage flight recorder (internal/obs) of that depth to
+// every simulated network and space the sweeps build, and autopsy, when
+// non-nil, receives a JSONL autopsy for every E13 slice that stalls.
+// Both default to off; neither changes any table byte.
+func SetObs(flightDepth int, autopsy io.Writer) {
+	obsMu.Lock()
+	obsFlightDepth = flightDepth
+	obsAutopsy = autopsy
+	obsMu.Unlock()
+}
+
+// obsOptions snapshots the current sweep-observability settings.
+func obsOptions() (flightDepth int, autopsy io.Writer) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	return obsFlightDepth, obsAutopsy
+}
+
+// obsFlight returns a fresh flight recorder for one simulated network or
+// space, or nil when sweep observability is off. Each network gets its
+// own recorder: sweeps run cells in parallel and lineage is only read
+// for autopsies, never merged.
+func obsFlight() *obs.Flight {
+	depth, _ := obsOptions()
+	if depth <= 0 {
+		return nil
+	}
+	return obs.NewFlight(depth)
+}

@@ -21,10 +21,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ocube"
 	"repro/internal/transport"
 )
@@ -121,6 +125,20 @@ type Config struct {
 	// Stable carries the values across the restart, Rejoin replays them
 	// into the cluster.
 	Stable StableStore
+	// Metrics, when set, registers this node's live series (grants,
+	// locks held, waiter depth, lease reclaims and their latency) in the
+	// given registry, labeled node=<self>. Nil disables metric
+	// collection at zero cost: the handles stay nil and every mutation
+	// is a nil-receiver no-op.
+	Metrics *obs.Registry
+	// Flight, when set, records every instance's token lineage (via
+	// core.Config.Observe) plus lockspace-level events (lease reclaims)
+	// into the shared flight recorder, stamped with wall time.
+	Flight *obs.Flight
+	// Autopsy, when set, receives a JSONL autopsy from Close when any
+	// instance still has queued waiters — the "stuck at shutdown" dump,
+	// carrying those keys' recent lineage and protocol state.
+	Autopsy io.Writer
 }
 
 // Lockspace is one node of the live keyed lock service, driving every
@@ -143,6 +161,14 @@ type Lockspace struct {
 
 	states atomic.Int64
 	closed atomic.Bool
+
+	// Metric handles (nil when Config.Metrics is nil; every mutation
+	// below tolerates that — the zero-cost-when-off contract).
+	obsGrants     *obs.Counter
+	obsReclaims   *obs.Counter
+	obsHeld       *obs.Gauge
+	obsWaiters    *obs.Gauge
+	obsReclaimLat *obs.Histogram
 }
 
 // instance is one lazily instantiated lock at this node, with its local
@@ -163,6 +189,10 @@ type instance struct {
 	// saved is the last StableState written through to Config.Stable,
 	// so unchanged states cost no store traffic.
 	saved StableState
+	// reclaimedAt stamps when a lapsed lease was reclaimed, so the next
+	// local grant can report the lapse-to-regrant latency; zero
+	// otherwise.
+	reclaimedAt time.Time
 }
 
 type waiter struct {
@@ -231,6 +261,20 @@ func New(cfg Config) (*Lockspace, error) {
 		done:   make(chan struct{}),
 		insts:  make(map[uint64]*instance),
 		outbox: make(map[ocube.Pos][]core.Envelope),
+	}
+	if cfg.Metrics != nil {
+		node := strconv.Itoa(int(cfg.Node.Self))
+		ls.obsGrants = cfg.Metrics.Counter("ocmx_lock_grants_total",
+			"Lock grants served to this node's local clients.", "node", node)
+		ls.obsReclaims = cfg.Metrics.Counter("ocmx_lease_reclaims_total",
+			"Lapsed holds reclaimed through the exit protocol.", "node", node)
+		ls.obsHeld = cfg.Metrics.Gauge("ocmx_locks_held",
+			"Keys currently held by this node's clients.", "node", node)
+		ls.obsWaiters = cfg.Metrics.Gauge("ocmx_lock_waiters",
+			"Local clients queued for a key (holders included).", "node", node)
+		ls.obsReclaimLat = cfg.Metrics.Histogram("ocmx_lease_reclaim_seconds",
+			"Lapse-to-next-local-grant latency of lease reclaims.",
+			obs.LatencyBuckets(), "node", node)
 	}
 	go ls.loop()
 	return ls, nil
@@ -381,7 +425,46 @@ func (ls *Lockspace) Close() error {
 	}
 	close(ls.stop)
 	<-ls.done
+	// The loop has exited: ls.insts is no longer shared, so the autopsy
+	// scan below is race-free. The instantaneous gauges reset so a chaos
+	// member restarting this node in the same registry starts clean.
+	ls.obsHeld.Set(0)
+	ls.obsWaiters.Set(0)
+	if ls.cfg.Autopsy != nil {
+		ls.autopsyStuck()
+	}
 	return nil
+}
+
+// autopsyStuck dumps every instance closed with clients still queued —
+// in-flight Locks that Close failed with ErrClosed — as a JSONL autopsy:
+// the keys' recent token lineage (when a flight recorder is attached)
+// plus each wedged instance's protocol state.
+func (ls *Lockspace) autopsyStuck() {
+	var stuck []uint64
+	for id, st := range ls.insts {
+		if len(st.queue) > 0 {
+			stuck = append(stuck, id)
+		}
+	}
+	if len(stuck) == 0 {
+		return
+	}
+	sort.Slice(stuck, func(i, j int) bool { return stuck[i] < stuck[j] })
+	states := make([]obs.NodeState, 0, len(stuck))
+	for _, id := range stuck {
+		st := ls.insts[id]
+		n := st.node
+		states = append(states, obs.NodeState{
+			Node: int(ls.cfg.Node.Self), Instance: id, Father: int(n.Father()),
+			TokenHere: n.TokenHere(), Asking: n.Asking(), InCS: n.InCS(),
+			Searching: n.Searching(), QueueLen: len(st.queue), Epoch: n.Epoch(),
+			Note: fmt.Sprintf("held=%v fence=%d", st.held, st.fence),
+		})
+	}
+	_ = obs.WriteAutopsy(ls.cfg.Autopsy, "lockspace-close-stuck-waiters",
+		map[string]any{"node": int(ls.cfg.Node.Self), "stuck": len(stuck)},
+		ls.cfg.Flight, stuck, states)
 }
 
 // loop is the node's single event loop: every hosted instance's inputs
@@ -454,7 +537,19 @@ func (ls *Lockspace) loop() {
 func (ls *Lockspace) ensure(id uint64) *instance {
 	st := ls.insts[id]
 	if st == nil {
-		node, err := core.NewNode(ls.cfg.Node)
+		nodeCfg := ls.cfg.Node
+		if fl := ls.cfg.Flight; fl != nil {
+			// Per-instance closure: the node reports its protocol events
+			// into the shared flight recorder, stamped with wall time.
+			nodeCfg.Observe = func(ev core.TokenEvent) {
+				fl.Record(obs.Event{
+					At: time.Now().UnixNano(), Node: int(ev.Self), Instance: id,
+					Kind: ev.Kind.String(), Peer: int(ev.Peer), Epoch: ev.Epoch,
+					Fence: ev.Fence, Seq: ev.Seq, Note: ev.Reason,
+				})
+			}
+		}
+		node, err := core.NewNode(nodeCfg)
 		if err != nil {
 			// The template was validated by New; this is unreachable.
 			panic(fmt.Sprintf("lockspace: instantiate %d: %v", id, err))
@@ -496,6 +591,7 @@ func (ls *Lockspace) acquire(id uint64, w *waiter) error {
 	st := ls.ensure(id)
 	st.queue = append(st.queue, w)
 	if len(st.queue) > 1 || st.held {
+		ls.obsWaiters.Add(1)
 		return nil // an earlier local waiter already drives the protocol
 	}
 	effs, err := st.node.RequestCS()
@@ -503,6 +599,7 @@ func (ls *Lockspace) acquire(id uint64, w *waiter) error {
 		st.queue = st.queue[:len(st.queue)-1]
 		return err
 	}
+	ls.obsWaiters.Add(1)
 	ls.apply(id, st, effs)
 	return nil
 }
@@ -535,9 +632,12 @@ func (ls *Lockspace) forceRelease(id uint64, st *instance) error {
 	st.held = false
 	st.fence = 0
 	st.queue = st.queue[1:]
+	ls.obsHeld.Add(-1)
+	ls.obsWaiters.Add(-1)
 	ls.apply(id, st, effs)
 	for len(st.queue) > 0 && st.queue[0].abandoned {
 		st.queue = st.queue[1:]
+		ls.obsWaiters.Add(-1)
 	}
 	if len(st.queue) > 0 {
 		effs, err := st.node.RequestCS()
@@ -568,6 +668,7 @@ func (ls *Lockspace) cancel(id uint64, w *waiter) error {
 		}
 		if i > 0 {
 			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			ls.obsWaiters.Add(-1)
 			return nil
 		}
 		if st.held {
@@ -644,6 +745,14 @@ func (ls *Lockspace) leaseCheck(id uint64) {
 		ls.leaseTimer(id, rem)
 		return
 	}
+	ls.obsReclaims.Inc()
+	st.reclaimedAt = time.Now()
+	if fl := ls.cfg.Flight; fl != nil {
+		fl.Record(obs.Event{
+			At: time.Now().UnixNano(), Node: int(ls.cfg.Node.Self), Instance: id,
+			Kind: "lease-reclaim", Peer: int(ocube.None), Fence: st.fence,
+		})
+	}
 	_ = ls.forceRelease(id, st)
 	ls.persist(id, st)
 }
@@ -673,6 +782,12 @@ func (ls *Lockspace) apply(id uint64, st *instance, effs []core.Effect) {
 			}
 			st.held = true
 			st.fence = e.Fence
+			ls.obsGrants.Inc()
+			ls.obsHeld.Add(1)
+			if !st.reclaimedAt.IsZero() {
+				ls.obsReclaimLat.Observe(time.Since(st.reclaimedAt).Seconds())
+				st.reclaimedAt = time.Time{}
+			}
 			if st.queue[0].abandoned {
 				// The head cancelled while its request was in flight:
 				// give the grant straight back and serve the next waiter.

@@ -2,11 +2,13 @@ package lockspace
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ocube"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -61,6 +63,11 @@ type SpaceConfig struct {
 	Recorder *trace.Recorder
 	// Logf, when set, receives a line per simulator action (debugging).
 	Logf func(format string, args ...any)
+	// Flight, when set, records every instance's token lineage (via
+	// core.Config.Observe) stamped with virtual time — the feed of the
+	// stall autopsies the sharded runtime writes. Purely observational:
+	// the run is byte-identical with or without it.
+	Flight *obs.Flight
 
 	// forceSparse drops the dense-slot fast path regardless of Instances
 	// (test hook: the representations must be behaviorally identical).
@@ -186,6 +193,61 @@ func (sp *Space) StaleTokens() int64 { return sp.staleTokens }
 // 2^P × K worst case.
 func (sp *Space) States() int { return sp.states }
 
+// Autopsy writes a JSONL autopsy of the space's current protocol state:
+// per-node state for every instance that is still busy or holds a
+// token, plus — when a Flight recorder is attached — the busy
+// instances' recent token lineage. Called by the sharded runtime when a
+// slice's settle window expires before quiescence (Run returned false).
+func (sp *Space) Autopsy(w io.Writer, reason string) error {
+	var states []obs.NodeState
+	seen := make(map[uint64]bool)
+	var insts []uint64
+	for _, p := range sp.peers {
+		visit := func(inst uint64, s *muxSlot) {
+			if s == nil || s.node == nil {
+				return
+			}
+			n := s.node
+			if !n.Busy() && !n.TokenHere() {
+				return
+			}
+			states = append(states, obs.NodeState{
+				Node: int(p.self), Instance: inst, Father: int(n.Father()),
+				TokenHere: n.TokenHere(), Asking: n.Asking(), InCS: n.InCS(),
+				Searching: n.Searching(), QueueLen: n.QueueLen(), Epoch: n.Epoch(),
+			})
+			if n.Busy() && !seen[inst] {
+				seen[inst] = true
+				insts = append(insts, inst)
+			}
+		}
+		if p.slots != nil {
+			for i := range p.slots {
+				visit(uint64(i)+1, &p.slots[i])
+			}
+		} else {
+			ids := append([]uint64(nil), p.touched...)
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				visit(id, p.sparse[id])
+			}
+		}
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	if insts == nil {
+		// No busy instance: scope the lineage to nothing rather than
+		// letting WriteAutopsy default to every instance ever recorded.
+		insts = []uint64{}
+	}
+	details := map[string]any{
+		"virtual_now_ns": int64(sp.w.Eng.Now()),
+		"grants":         sp.grants,
+		"violations":     sp.violations,
+		"regenerations":  sp.regens,
+	}
+	return obs.WriteAutopsy(w, reason, details, sp.cfg.Flight, insts, states)
+}
+
 // noteGrant is the space-level counterpart of the Network's enterCS:
 // per-instance occupancy, violation accounting and release scheduling.
 func (sp *Space) noteGrant(p *muxPeer, inst uint64) {
@@ -257,6 +319,16 @@ func (p *muxPeer) ensure(inst uint64) *core.Node {
 	if s.node == nil {
 		cfg := p.sp.cfg.Node
 		cfg.Self, cfg.P = p.self, p.sp.cfg.P
+		if fl := p.sp.cfg.Flight; fl != nil {
+			sp := p.sp
+			cfg.Observe = func(ev core.TokenEvent) {
+				fl.Record(obs.Event{
+					At: int64(sp.w.Eng.Now()), Node: int(ev.Self), Instance: inst,
+					Kind: ev.Kind.String(), Peer: int(ev.Peer), Epoch: ev.Epoch,
+					Fence: ev.Fence, Seq: ev.Seq, Note: ev.Reason,
+				})
+			}
+		}
 		node, err := core.NewNode(cfg)
 		if err != nil {
 			// The template was validated by NewSpace; this is unreachable.

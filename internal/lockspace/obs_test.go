@@ -1,0 +1,204 @@
+package lockspace
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/ocube"
+	"repro/internal/transport"
+)
+
+// Observability wiring tests: live metrics and token lineage, the
+// stuck-waiter autopsy on Close, and the forced-stall autopsy of the
+// simulated Space — the test-pinned halves of the PR 9 acceptance
+// criteria.
+
+// newObsLiveSpace is newLiveSpace with a shared registry and flight
+// recorder attached to every node.
+func newObsLiveSpace(t *testing.T, p int, reg *obs.Registry, fl *obs.Flight) []*Lockspace {
+	t.Helper()
+	n := 1 << p
+	mesh, err := transport.NewEnvMesh(n, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mesh.Close() })
+	nodes := make([]*Lockspace, n)
+	for i := range nodes {
+		ls, err := New(Config{
+			Node:      core.Config{Self: ocube.Pos(i), P: p},
+			Transport: mesh.Endpoint(ocube.Pos(i)),
+			Metrics:   reg,
+			Flight:    fl,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ls.Close() })
+		nodes[i] = ls
+	}
+	return nodes
+}
+
+// TestLiveMetricsAndLineage locks and unlocks through an instrumented
+// lockspace and checks the registry counted the grant, the gauges
+// settled back to zero, and the flight recorder kept the key's lineage
+// ending in a grant.
+func TestLiveMetricsAndLineage(t *testing.T) {
+	reg := obs.NewRegistry()
+	fl := obs.NewFlight(32)
+	nodes := newObsLiveSpace(t, 1, reg, fl)
+	ctx := context.Background()
+
+	f, err := nodes[1].Lock(ctx, "obs-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := reg.Gauge("ocmx_locks_held", "", "node", "1")
+	if got := held.Value(); got != 1 {
+		t.Errorf("ocmx_locks_held{node=1} while held = %g, want 1", got)
+	}
+	if err := nodes[1].Unlock("obs-key", f); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ocmx_lock_grants_total", "", "node", "1").Value(); got != 1 {
+		t.Errorf("ocmx_lock_grants_total{node=1} = %d, want 1", got)
+	}
+	if got := held.Value(); got != 0 {
+		t.Errorf("ocmx_locks_held{node=1} after unlock = %g, want 0", got)
+	}
+	if got := reg.Gauge("ocmx_lock_waiters", "", "node", "1").Value(); got != 0 {
+		t.Errorf("ocmx_lock_waiters{node=1} after unlock = %g, want 0", got)
+	}
+
+	// Lineage: node 1 starts without the token (it is at node 0), so the
+	// journey must include node 1's request and its grant.
+	evs := fl.Dump(KeyInstance("obs-key"))
+	if len(evs) == 0 {
+		t.Fatal("flight recorder kept no lineage for the locked key")
+	}
+	var sawRequest, sawGrant bool
+	for _, ev := range evs {
+		switch ev.Kind {
+		case "request":
+			sawRequest = true
+		case "grant":
+			if ev.Node != 1 {
+				t.Errorf("grant recorded at node %d, want 1", ev.Node)
+			}
+			if ev.Fence != f {
+				t.Errorf("grant lineage fence = %d, Lock returned %d", ev.Fence, f)
+			}
+			sawGrant = true
+		}
+	}
+	if !sawRequest || !sawGrant {
+		t.Errorf("lineage missing request/grant: request=%v grant=%v events=%+v",
+			sawRequest, sawGrant, evs)
+	}
+}
+
+// TestCloseStuckWaiterAutopsy closes a lockspace with a hold and a
+// queued waiter still in place: Close must write a JSONL autopsy naming
+// the key's instance, its lineage (through the attached flight
+// recorder), and the wedged state.
+func TestCloseStuckWaiterAutopsy(t *testing.T) {
+	mesh, err := transport.NewEnvMesh(2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mesh.Close() })
+	fl := obs.NewFlight(32)
+	var autopsy bytes.Buffer
+	ls, err := New(Config{
+		Node:      core.Config{Self: 0, P: 1},
+		Transport: mesh.Endpoint(0),
+		Flight:    fl,
+		Autopsy:   &autopsy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := ls.Lock(ctx, "stuck-key"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { _, err := ls.Lock(ctx, "stuck-key"); got <- err }()
+	time.Sleep(20 * time.Millisecond) // let the waiter enqueue behind the holder
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-got // the waiter observed ErrClosed; its queue entry is the stuck one
+
+	out := autopsy.String()
+	if out == "" {
+		t.Fatal("Close with a stuck waiter wrote no autopsy")
+	}
+	if !strings.Contains(out, `"reason":"lockspace-close-stuck-waiters"`) {
+		t.Errorf("autopsy missing reason header:\n%s", out)
+	}
+	id := KeyInstance("stuck-key")
+	if !strings.Contains(out, `"instance":`+itoa(id)) {
+		t.Errorf("autopsy does not name instance %d:\n%s", id, out)
+	}
+	if !strings.Contains(out, `"kind":"grant"`) {
+		t.Errorf("autopsy lineage missing the hold's grant:\n%s", out)
+	}
+	if !strings.Contains(out, `"rec":"state"`) {
+		t.Errorf("autopsy missing the node-state line:\n%s", out)
+	}
+}
+
+// itoa renders a uint64 without pulling strconv into every assertion.
+func itoa(v uint64) string {
+	var b [20]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			return string(b[i:])
+		}
+	}
+}
+
+// TestSpaceStallAutopsy forces a simulated stall — the token holder
+// fails permanently with FT off, so a requester waits forever — and
+// checks the Space autopsy carries the offending key's full lineage
+// plus the wedged requester's state.
+func TestSpaceStallAutopsy(t *testing.T) {
+	fl := obs.NewFlight(32)
+	sp, err := NewSpace(SpaceConfig{P: 1, Instances: 1, Seed: 7, Flight: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 holds every instance's token at birth; with FT off its
+	// death is unrecoverable.
+	sp.Network().Fail(0, 0)
+	sp.Request(0, 1, time.Millisecond)
+	if sp.Run(time.Second) {
+		t.Fatal("expected the run to stall, but it quiesced")
+	}
+
+	var buf bytes.Buffer
+	if err := sp.Autopsy(&buf, "forced-stall"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"reason":"forced-stall"`) {
+		t.Errorf("autopsy missing reason:\n%s", out)
+	}
+	if !strings.Contains(out, `"kind":"request"`) {
+		t.Errorf("autopsy lineage missing the stalled request:\n%s", out)
+	}
+	if !strings.Contains(out, `"rec":"state"`) || !strings.Contains(out, `"asking":true`) {
+		t.Errorf("autopsy missing the wedged requester's state:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFlightRing checks bounded-ring semantics: depth-limited history,
+// oldest-first dumps, eviction once full.
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(Event{At: int64(i), Instance: 7, Kind: "request"})
+	}
+	got := f.Dump(7)
+	if len(got) != 4 {
+		t.Fatalf("dump kept %d events, want 4", len(got))
+	}
+	for i, ev := range got {
+		if want := int64(6 + i); ev.At != want {
+			t.Errorf("dump[%d].At = %d, want %d", i, ev.At, want)
+		}
+	}
+	if f.Dump(99) != nil {
+		t.Error("unknown instance dumped events")
+	}
+	f.Record(Event{Instance: 3})
+	if insts := f.Instances(); len(insts) != 2 || insts[0] != 3 || insts[1] != 7 {
+		t.Errorf("Instances() = %v, want [3 7]", insts)
+	}
+}
+
+// TestWriteAutopsy checks the JSONL shape: a header line, lineage lines
+// for the requested instances only, then state lines — every line valid
+// JSON on its own.
+func TestWriteAutopsy(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(Event{At: 1, Node: 0, Instance: 5, Kind: "request", Peer: 1, Seq: 9})
+	f.Record(Event{At: 2, Node: 1, Instance: 5, Kind: "grant", Peer: -1, Fence: 4294967297})
+	f.Record(Event{At: 3, Node: 0, Instance: 6, Kind: "request", Peer: 1})
+
+	var buf bytes.Buffer
+	err := WriteAutopsy(&buf, "test-stall", map[string]any{"key": "k5"}, f, []uint64{5},
+		[]NodeState{{Node: 1, Instance: 5, Father: -1, TokenHere: true, QueueLen: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, m)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("got %d lines, want 4 (header + 2 lineage + 1 state)", len(recs))
+	}
+	if recs[0]["rec"] != "autopsy" || recs[0]["reason"] != "test-stall" {
+		t.Errorf("bad header: %v", recs[0])
+	}
+	if recs[1]["rec"] != "lineage" || recs[1]["kind"] != "request" {
+		t.Errorf("bad first lineage line: %v", recs[1])
+	}
+	if recs[2]["fence"] != float64(4294967297) {
+		t.Errorf("grant line lost the fence: %v", recs[2])
+	}
+	if recs[3]["rec"] != "state" || recs[3]["queue_len"] != float64(2) {
+		t.Errorf("bad state line: %v", recs[3])
+	}
+	for _, m := range recs[1:3] {
+		if m["instance"] != float64(5) {
+			t.Errorf("lineage for instance %v leaked into a dump scoped to 5", m["instance"])
+		}
+	}
+}
+
+// TestWriteAutopsyAllInstances checks that a nil instance filter dumps
+// every recorded instance.
+func TestWriteAutopsyAllInstances(t *testing.T) {
+	f := NewFlight(8)
+	f.Record(Event{Instance: 1, Kind: "a"})
+	f.Record(Event{Instance: 2, Kind: "b"})
+	var buf bytes.Buffer
+	if err := WriteAutopsy(&buf, "r", nil, f, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"kind":"a"`) || !strings.Contains(out, `"kind":"b"`) {
+		t.Errorf("nil filter missed an instance:\n%s", out)
+	}
+}

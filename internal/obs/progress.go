@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+)
+
+// Progress forwards writes to an underlying writer while counting the
+// report lines and bytes into a registry, so shard progress reporting
+// (E13's per-slice stderr lines) flows through the obs layer and shows
+// up in a run snapshot. With a nil registry it is a plain passthrough.
+type Progress struct {
+	w     io.Writer
+	lines *Counter
+	bytes *Counter
+}
+
+// NewProgress wraps w; reg may be nil.
+func NewProgress(w io.Writer, reg *Registry) *Progress {
+	p := &Progress{w: w}
+	if reg != nil {
+		p.lines = reg.Counter("ocmx_progress_lines_total", "Progress report lines emitted.")
+		p.bytes = reg.Counter("ocmx_progress_bytes_total", "Progress report bytes emitted.")
+	}
+	return p
+}
+
+// Write implements io.Writer.
+func (p *Progress) Write(b []byte) (int, error) {
+	p.lines.Add(int64(bytes.Count(b, []byte{'\n'})))
+	p.bytes.Add(int64(len(b)))
+	return p.w.Write(b)
+}

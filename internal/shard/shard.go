@@ -35,6 +35,7 @@
 package shard
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lockspace"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ocube"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -109,6 +111,17 @@ type Config struct {
 	// count, per-shard events/sec). Results never depend on it; the CLI
 	// passes stderr so stdout stays byte-identical.
 	Progress io.Writer
+	// FlightDepth, when positive, attaches a token-lineage flight
+	// recorder (internal/obs) of that per-instance depth to every
+	// slice's Space, feeding the stall autopsies below. Like Progress it
+	// is an execution knob: results are byte-identical with it on or
+	// off.
+	FlightDepth int
+	// Autopsy, when set, receives a JSONL autopsy for every slice whose
+	// settle window expires before quiescence — the stalled slice's busy
+	// keys, their recent lineage (when FlightDepth is set) and per-node
+	// protocol state. Writes from concurrent slices are serialized.
+	Autopsy io.Writer
 }
 
 // Result is the deterministically merged outcome of one sharded run:
@@ -219,6 +232,10 @@ func Run(cfg Config) (Result, error) {
 	// gracefully instead of thrashing.
 	sem := make(chan struct{}, max(1, min(shards, runtime.GOMAXPROCS(0))))
 	var progressMu sync.Mutex // Progress may be any io.Writer; serialize worker reports
+	if cfg.Autopsy != nil {
+		// Stalled slices may dump concurrently from several workers.
+		cfg.Autopsy = &lockedWriter{w: cfg.Autopsy}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < shards; w++ {
 		wg.Add(1)
@@ -287,6 +304,19 @@ func Run(cfg Config) (Result, error) {
 	return out, nil
 }
 
+// lockedWriter serializes autopsy writes from concurrent slice workers
+// so two stalled slices' JSONL dumps never interleave mid-line.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(b []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(b)
+}
+
 // runSlice is one slice's complete simulation: its own Space, workload
 // stream and measurement, a pure function of (cfg, slice, members).
 func runSlice(cfg Config, slice int, members []int32, hot bool) sliceResult {
@@ -312,6 +342,10 @@ func runSlice(cfg Config, slice int, members []int32, hot bool) sliceResult {
 	}
 
 	rec := &trace.Recorder{}
+	var fl *obs.Flight
+	if cfg.FlightDepth > 0 {
+		fl = obs.NewFlight(cfg.FlightDepth)
+	}
 	sp, err := lockspace.NewSpace(lockspace.SpaceConfig{
 		P:         cfg.P,
 		Instances: keys,
@@ -320,6 +354,7 @@ func runSlice(cfg Config, slice int, members []int32, hot bool) sliceResult {
 		Delay:     cfg.Delay,
 		CSTime:    cfg.CSTime,
 		Recorder:  rec,
+		Flight:    fl,
 	})
 	if err != nil {
 		res.err = err
@@ -358,6 +393,14 @@ func runSlice(cfg Config, slice int, members []int32, hot bool) sliceResult {
 	}
 	if !sp.Run(horizon + cfg.Settle) {
 		res.stalled = 1
+		if cfg.Autopsy != nil {
+			// Buffer the dump and write it in one call: concurrent stalled
+			// slices then emit whole autopsies, not interleaved lines.
+			var buf bytes.Buffer
+			if sp.Autopsy(&buf, fmt.Sprintf("shard-slice-%d-stalled", slice)) == nil {
+				_, _ = cfg.Autopsy.Write(buf.Bytes())
+			}
+		}
 	}
 	res.grants = sp.Grants()
 	res.msgs = rec.Total()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ocube"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -102,6 +103,12 @@ type Config struct {
 	Recorder *trace.Recorder
 	// OnEffect, when set, observes every effect any node emits.
 	OnEffect func(node ocube.Pos, e core.Effect)
+	// Flight, when set, records every open-cube node's token lineage
+	// (core.Config.Observe) into the recorder, stamped with virtual time
+	// under instance 0. Purely observational — runs are byte-identical
+	// with or without it. Ignored when Algorithm is set (the baselines
+	// have no observe hook).
+	Flight *obs.Flight
 	// Logf, when set, receives a line per simulator action (debugging).
 	Logf func(format string, args ...any)
 }
@@ -184,6 +191,25 @@ func New(cfg Config) (*Network, error) {
 	if n < 1 || n > 1<<20 {
 		return nil, fmt.Errorf("sim: N=%d out of range", n)
 	}
+	// The flight closure needs the engine's virtual clock, but the nodes
+	// are built before the network exists — capture a deferred pointer;
+	// events only ever fire inside Run, long after it is assigned.
+	var wp *Network
+	if cfg.Flight != nil && cfg.Algorithm.New == nil {
+		fl := cfg.Flight
+		cfg.Node.Observe = func(ev core.TokenEvent) {
+			fl.Record(obs.Event{
+				At:    int64(wp.Eng.Now()),
+				Node:  int(ev.Self),
+				Kind:  ev.Kind.String(),
+				Peer:  int(ev.Peer),
+				Epoch: ev.Epoch,
+				Fence: ev.Fence,
+				Seq:   ev.Seq,
+				Note:  ev.Reason,
+			})
+		}
+	}
 	algo := cfg.Algorithm
 	if algo.New == nil {
 		algo = openCube(cfg.P, cfg.Node)
@@ -250,6 +276,7 @@ func New(cfg Config) (*Network, error) {
 		}
 	}
 	w.Eng.bind(w, n*core.NumTimerKinds)
+	wp = w
 	return w, nil
 }
 

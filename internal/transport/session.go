@@ -137,6 +137,11 @@ type sessPeer struct {
 	recvBoot uint64              // the peer incarnation the window below belongs to
 	recvHigh uint64              // every seq ≤ recvHigh was delivered
 	recvSeen map[uint64]struct{} // delivered seqs above recvHigh
+
+	// Per-peer slices of the aggregate SessionStats counters (kept here,
+	// not in SessionStats, so that struct stays comparable with ==).
+	retransmits int64 // data frames re-sent to this peer
+	dupDrops    int64 // frames from this peer discarded as duplicates
 }
 
 type sessOut struct {
@@ -193,6 +198,33 @@ func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// PeerStats is the per-peer slice of the session counters: which
+// neighbor the retransmits went to and whose frames were dup-dropped.
+// It is a separate type (not a map inside SessionStats) so SessionStats
+// stays comparable with ==, which existing tests rely on.
+type PeerStats struct {
+	// Retransmits counts data frames re-sent to this peer.
+	Retransmits int64
+	// DupDrops counts frames received from this peer and discarded as
+	// duplicates.
+	DupDrops int64
+}
+
+// PeerStats returns a snapshot of the per-peer counter breakdown. The
+// per-peer values sum to the aggregate Stats() counters taken under the
+// same lock.
+func (s *Session) PeerStats() map[ocube.Pos]PeerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[ocube.Pos]PeerStats, len(s.peers))
+	for pos, p := range s.peers {
+		if p.retransmits != 0 || p.dupDrops != 0 {
+			out[pos] = PeerStats{Retransmits: p.retransmits, DupDrops: p.dupDrops}
+		}
+	}
+	return out
 }
 
 func (s *Session) peer(to ocube.Pos) *sessPeer {
@@ -283,6 +315,7 @@ func (s *Session) retransmit(to ocube.Pos, seq uint64) {
 	out.attempts++
 	s.stats.AckTimeouts++
 	s.stats.Retransmits++
+	p.retransmits++
 	rto := s.backoff(out.attempts)
 	out.timer = time.AfterFunc(rto, func() { s.retransmit(to, seq) })
 	batch := out.batch
@@ -348,6 +381,7 @@ func (s *Session) recvLoop() {
 		}
 		if dup {
 			s.stats.DupDrops++
+			p.dupDrops++
 		} else {
 			p.recvSeen[f.Seq] = struct{}{}
 			for {
