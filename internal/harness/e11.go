@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lockspace"
+	"repro/internal/obs"
 	"repro/internal/ocube"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -242,9 +243,12 @@ func E11LeaseReclaim(ttl time.Duration) (time.Duration, error) {
 	}
 	// The holder goes silent. A waiter on node 1 must be served once the
 	// lease lapses and the hold is reclaimed through the exit protocol.
-	start := time.Now()
+	// This is the live half of E11, so the latency is wall time by
+	// nature; it is measured through the obs layer (the replay domain
+	// never calls time.Now itself) and reported on stderr only.
+	start := obs.StartStopwatch()
 	f2, err := nodes[1].Lock(ctx, key)
-	latency := time.Since(start)
+	latency := start.Elapsed()
 	if err != nil {
 		return 0, fmt.Errorf("waiter after lapsed lease: %w", err)
 	}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// corePath is the package that owns the effect arenas.
+const corePath = "repro/internal/core"
+
+// effectStructs are the pointer-boxed arena entries behind core.Effect:
+// a driver receives *core.Send etc. pointing into the emitting node's
+// scratch arena, recycled wholesale at the next call into that node
+// (DESIGN.md §9). Holding one past the driver call aliases a slot that
+// the next emission will scribble over.
+var effectStructs = map[string]bool{
+	"Send": true, "SendEnvelope": true, "Grant": true, "StartTimer": true,
+	"TokenRegenerated": true, "StaleToken": true, "BecameRoot": true,
+	"Dropped": true, "SearchStarted": true, "SearchEnded": true,
+}
+
+// ArenaRetainAnalyzer forbids retaining pooled arena values — the
+// core.Effect interface, slices of it, and pointers to the effect
+// structs — in struct fields, package-level variables, or goroutine
+// closures. Drivers must execute or copy effects before the next call
+// into the emitting state machine; storing the pointer instead is a
+// use-after-recycle waiting for a warm arena. The owning package
+// (internal/core) is exempt: filling its own arenas is the mechanism,
+// and its internal discipline is pinned by the CheckPools model tests.
+var ArenaRetainAnalyzer = &Analyzer{
+	Name: "arenaretain",
+	Doc:  "forbid retaining arena-backed effect values past the driver call",
+	Run:  runArenaRetain,
+}
+
+// isTransient reports whether t is an arena-lifetime type: core.Effect,
+// a slice of transients, or a pointer to an effect struct.
+func isTransient(t types.Type) bool {
+	switch t := t.(type) {
+	case *types.Slice:
+		return isTransient(t.Elem())
+	case *types.Pointer:
+		return isNamedEffectStruct(t.Elem())
+	case *types.Named:
+		obj := t.Obj()
+		return obj.Pkg() != nil && obj.Pkg().Path() == corePath && obj.Name() == "Effect"
+	}
+	return false
+}
+
+func isNamedEffectStruct(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == corePath && effectStructs[obj.Name()]
+}
+
+func runArenaRetain(pass *Pass) error {
+	if pass.Pkg.Path() == corePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				if decl.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range decl.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, name := range vs.Names {
+						if v, ok := pass.Info.Defs[name].(*types.Var); ok && isTransient(v.Type()) {
+							pass.Reportf(name.Pos(),
+								"package-level %s holds an arena-backed effect type %s; pooled effects are valid only until the next call into the emitting node",
+								name.Name, v.Type())
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					checkRetention(pass, decl.Body)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkRetention(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // multi-value call assignment; transient results land in idents, checked at use
+				}
+				tv, ok := pass.Info.Types[n.Rhs[i]]
+				if !ok || !isTransient(tv.Type) {
+					continue
+				}
+				reportRetainingLHS(pass, lhs, tv.Type)
+			}
+		case *ast.GoStmt:
+			checkEscapingClosure(pass, n.Call, "go statement")
+		}
+		return true
+	})
+}
+
+// reportRetainingLHS flags stores of transient values into struct
+// fields or package-level variables. Local variables are fine: they die
+// with the driver call.
+func reportRetainingLHS(pass *Pass, lhs ast.Expr, t types.Type) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		sel := pass.Info.Selections[lhs]
+		if sel != nil && sel.Kind() == types.FieldVal {
+			pass.Reportf(lhs.Pos(),
+				"arena-backed effect value (%s) stored in struct field %s outlives the driver call; copy the effect's data instead, or annotate with //ocmxvet:allow arenaretain -- <reason>",
+				t, types.ExprString(lhs))
+			return
+		}
+		// Qualified package-level var (pkg.Var = eff).
+		if id, ok := lhs.X.(*ast.Ident); ok {
+			if _, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+				pass.Reportf(lhs.Pos(),
+					"arena-backed effect value (%s) stored in package-level %s outlives the driver call",
+					t, types.ExprString(lhs))
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[lhs].(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(),
+				"arena-backed effect value (%s) stored in package-level %s outlives the driver call",
+				t, lhs.Name)
+		}
+	case *ast.IndexExpr:
+		// Storing into an element of an outer slice/map: flag when the
+		// container itself is a field or global (x.buf[i] = eff).
+		reportRetainingLHS(pass, lhs.X, t)
+	}
+}
+
+// checkEscapingClosure flags function literals launched as goroutines
+// that capture transient-typed variables: the goroutine races the arena
+// recycle by construction.
+func checkEscapingClosure(pass *Pass, call *ast.CallExpr, how string) {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || !isTransient(v.Type()) {
+			return true
+		}
+		// Captured, not closure-local: declared before the literal.
+		if v.Pos() < lit.Pos() {
+			pass.Reportf(id.Pos(),
+				"arena-backed effect %s captured by a %s escapes the driver call that owns its storage",
+				id.Name, how)
+		}
+		return true
+	})
+}

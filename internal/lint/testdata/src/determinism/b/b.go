@@ -1,0 +1,9 @@
+// Package b has no //ocmxvet:deterministic pragma and its import path
+// is not in the deterministic set, so its wall-clock reads are legal.
+package b
+
+import "time"
+
+func clock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+//ocmxvet:live -- fixture: conflicting pragma pair
+//ocmxvet:deterministic
+
+package c // want "file carries both"
+
+import "time"
+
+func clock() time.Time {
+	return time.Now()
+}

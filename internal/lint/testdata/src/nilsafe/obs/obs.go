@@ -1,0 +1,42 @@
+// Package obs mirrors the metric-type names of the real obs package
+// (the nilsafe analyzer keys on package name + type name), so the
+// fixture can seed guard-less methods without touching the real tree.
+package obs
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { // want "Inc dereferences its receiver without a leading nil guard"
+	c.n++
+}
+
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.n += d
+}
+
+type Gauge struct{ v float64 }
+
+func (g *Gauge) Set(v float64) { // want "Set dereferences its receiver without a leading nil guard"
+	g.v = v
+}
+
+func (g *Gauge) Describe() string {
+	return "gauge" // receiver unused: trivially nil-safe
+}
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+}
+
+type registry struct{ n int }
+
+func (r *registry) bump() { // not a metric type: no guard required
+	r.n++
+}

@@ -1,0 +1,9 @@
+// Package core mirrors the import-path tail of the real wire package,
+// so the wiresize analyzer applies the same 80-byte Message pin to this
+// fixture — here grown one field past it.
+package core
+
+type Message struct { // want "core.Message is 88 bytes, want exactly 80; field Extra pushes past the pin"
+	Pad   [10]uint64
+	Extra uint8
+}

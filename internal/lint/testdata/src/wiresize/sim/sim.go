@@ -1,0 +1,11 @@
+// Package sim mirrors the import-path tail of the engine package, so
+// the wiresize analyzer applies the 24-byte heap-entry bound to this
+// fixture — here widened past the four-word budget.
+package sim
+
+type heapEntry struct { // want "sim.heapEntry is 32 bytes, want at most 24; field kind pushes past the pin"
+	at   int64
+	seq  uint64
+	ref  int64
+	kind uint8
+}

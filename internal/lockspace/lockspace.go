@@ -17,6 +17,10 @@
 // uniform and Zipf-skewed key popularity with crash/recovery injection.
 package lockspace
 
+//ocmxvet:live -- this file is the live goroutine runtime (wall-clock leases,
+// session transports, context cancellation); the deterministic simulated path
+// lives in mux.go/wheel.go, which stay under the determinism analyzer.
+
 import (
 	"context"
 	"errors"
@@ -516,6 +520,10 @@ func (ls *Lockspace) loop() {
 						Held: st.held, Busy: st.node.Busy(), Epoch: st.node.Epoch(),
 					})
 				}
+				// Instance order, not map order: census consumers (the
+				// chaos token census, autopsy state lines) render rows,
+				// and replayed runs must render them identically.
+				sort.Slice(rows, func(i, j int) bool { return rows[i].Instance < rows[j].Instance })
 				c.rows <- rows
 			}
 			if c.op != opCensus {
